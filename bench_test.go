@@ -1,0 +1,284 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (run with `go test -bench=. -benchmem`), plus the performance ablations of
+// DESIGN.md: per-NLP-layer cost, serial vs parallel Stage I and Stage II,
+// and document-size scaling.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/depparse"
+	"repro/internal/experiments"
+	"repro/internal/nvvp"
+	"repro/internal/postag"
+	"repro/internal/selectors"
+	"repro/internal/srl"
+	"repro/internal/study"
+	"repro/internal/textproc"
+	"repro/internal/vsm"
+)
+
+var (
+	setupOnce   sync.Once
+	cudaGuide   *corpus.Guide
+	cudaAdvisor *core.Advisor
+)
+
+func setup(b *testing.B) (*corpus.Guide, *core.Advisor) {
+	b.Helper()
+	setupOnce.Do(func() {
+		cudaGuide, cudaAdvisor = experiments.BuildAdvisor(corpus.CUDA)
+	})
+	return cudaGuide, cudaAdvisor
+}
+
+// --- one benchmark per table / figure -------------------------------------
+
+func BenchmarkTable3_ReportExtraction(b *testing.B) {
+	text, err := nvvp.Synthesize("norm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nvvp.Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4_QueryAnswer(b *testing.B) {
+	_, adv := setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv.Query("reduce instruction and memory latency")
+	}
+}
+
+func BenchmarkTable5_UserStudy(b *testing.B) {
+	_, adv := setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Run(adv, study.DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6_AnswerQuality(b *testing.B) {
+	g, adv := setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table6(g, adv)
+	}
+}
+
+func BenchmarkTable7_Compression(b *testing.B) {
+	// full Stage-I pipeline over the 558-sentence Xeon guide per iteration
+	g := corpus.Generate(corpus.XeonPhi, experiments.Seed)
+	fw := core.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := fw.BuildFromSentences(g.Doc, g.Sentences)
+		_ = adv.CompressionRatio()
+	}
+}
+
+func BenchmarkTable8_Recognition(b *testing.B) {
+	g := corpus.Generate(corpus.CUDA, experiments.Seed)
+	texts, _ := g.EvalSentences()
+	rec := selectors.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range texts {
+			rec.Classify(s)
+		}
+	}
+}
+
+func BenchmarkFig2_DependencyParse(b *testing.B) {
+	sentences := [][]string{
+		textproc.Words("Thus, a developer may prefer using buffers instead of images if no sampling operation is needed."),
+		textproc.Words("This synchronization guarantee can often be leveraged to avoid explicit clWaitForEvents() calls between command submissions."),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		depparse.ParseWords(sentences[i%2])
+	}
+}
+
+func BenchmarkFig3_SRL(b *testing.B) {
+	tree := depparse.ParseText("The first step in maximizing overall memory throughput for the application is to minimize data transfers with low bandwidth.")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srl.Label(tree)
+	}
+}
+
+func BenchmarkFig5_KernelModel(b *testing.B) {
+	_, adv := setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.SurfacedOptimizations(adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_WebRuleList(b *testing.B) {
+	_, adv := setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = adv.Rules()
+		_ = adv.CompressionRatio()
+	}
+}
+
+// --- NLP layer cost ablation ----------------------------------------------
+
+var layerSentence = "The number of threads per block should be chosen as a multiple of the warp size to avoid wasting computing resources with under-populated warps as much as possible."
+
+func BenchmarkLayer1_Tokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		textproc.Words(layerSentence)
+	}
+}
+
+func BenchmarkLayer2_POSTag(b *testing.B) {
+	words := textproc.Words(layerSentence)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postag.Tags(words)
+	}
+}
+
+func BenchmarkLayer3_DependencyParse(b *testing.B) {
+	words := textproc.Words(layerSentence)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		depparse.ParseWords(words)
+	}
+}
+
+func BenchmarkLayer4_SRL(b *testing.B) {
+	tree := depparse.ParseText(layerSentence)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srl.Label(tree)
+	}
+}
+
+func BenchmarkLayer5_Selectors(b *testing.B) {
+	rec := selectors.Default()
+	tree := depparse.ParseText(layerSentence)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.ClassifyParsed(tree)
+	}
+}
+
+// --- parallelism ablations -------------------------------------------------
+
+func benchStageI(b *testing.B, workers int) {
+	g := corpus.GenerateSized(corpus.CUDA, 400, 0.2, 11)
+	fw := core.New(core.WithParallelism(workers))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.BuildFromSentences(g.Doc, g.Sentences)
+	}
+}
+
+func BenchmarkStageI_Serial(b *testing.B)   { benchStageI(b, 1) }
+func BenchmarkStageI_Parallel(b *testing.B) { benchStageI(b, 0) } // GOMAXPROCS
+
+func BenchmarkStageII_QuerySerial(b *testing.B) {
+	g, _ := setup(b)
+	ix := vsm.Build(g.Texts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QuerySerial("minimize divergent warps caused by control flow")
+	}
+}
+
+func BenchmarkStageII_QueryParallel(b *testing.B) {
+	g, _ := setup(b)
+	ix := vsm.Build(g.Texts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryAll("minimize divergent warps caused by control flow")
+	}
+}
+
+// --- retrieval-weighting ablation -------------------------------------------
+
+func BenchmarkRanker_TFIDF(b *testing.B) {
+	g, _ := setup(b)
+	ix := vsm.Build(g.Texts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query("minimize data transfers with low bandwidth", vsm.DefaultThreshold)
+	}
+}
+
+func BenchmarkRanker_BM25(b *testing.B) {
+	g, _ := setup(b)
+	ix := vsm.BuildBM25(g.Texts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopK("minimize data transfers with low bandwidth", 25)
+	}
+}
+
+// --- maintenance workflows ---------------------------------------------------
+
+func BenchmarkDiffRules(b *testing.B) {
+	g1 := corpus.GenerateSized(corpus.CUDA, 400, 0.2, 71)
+	g2 := corpus.GenerateSized(corpus.CUDA, 400, 0.2, 72)
+	fw := core.New()
+	a1 := fw.BuildFromSentences(g1.Doc, g1.Sentences)
+	a2 := fw.BuildFromSentences(g2.Doc, g2.Sentences)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DiffRules(a1, a2)
+	}
+}
+
+// --- document-size scaling -------------------------------------------------
+
+func benchScaling(b *testing.B, n int) {
+	g := corpus.GenerateSized(corpus.CUDA, n, 0.2, 13)
+	fw := core.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.BuildFromSentences(g.Doc, g.Sentences)
+	}
+}
+
+func BenchmarkScaling_200Sentences(b *testing.B)  { benchScaling(b, 200) }
+func BenchmarkScaling_800Sentences(b *testing.B)  { benchScaling(b, 800) }
+func BenchmarkScaling_2000Sentences(b *testing.B) { benchScaling(b, 2000) }

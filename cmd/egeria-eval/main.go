@@ -1,0 +1,93 @@
+// Command egeria-eval regenerates the tables of the paper's evaluation
+// section (Tables 3-8), the Fleiss' kappa agreement statistics, and the
+// extension ablations (similarity-threshold sweep). Select a single table
+// with -table N or print everything with no flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/selectors"
+	"repro/internal/study"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("egeria-eval: ")
+	table := flag.Int("table", 0, "print only this table (3-8); 0 = all")
+	ablations := flag.Bool("ablations", false, "also run the extension ablations")
+	flag.Parse()
+
+	if *table != 0 && (*table < 3 || *table > 8) {
+		fmt.Fprintln(os.Stderr, "unknown table; want 3-8")
+		os.Exit(2)
+	}
+	want := func(n int) bool { return *table == 0 || *table == n }
+
+	var cudaGuide *corpus.Guide
+	var cudaAdvisor *core.Advisor
+	if want(4) || want(5) || want(6) || *ablations {
+		cudaGuide, cudaAdvisor = experiments.BuildAdvisor(corpus.CUDA)
+	}
+
+	if want(3) {
+		out, err := experiments.Table3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want(4) {
+		fmt.Println(experiments.Table4(cudaGuide, cudaAdvisor))
+	}
+	if want(5) {
+		res, out, err := experiments.Table5(cudaAdvisor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+		fmt.Println(study.Table5CI(res))
+	}
+	if want(6) {
+		fmt.Println(experiments.FormatTable6(experiments.Table6(cudaGuide, cudaAdvisor)))
+	}
+	if want(7) {
+		fmt.Println(experiments.FormatTable7(experiments.Table7()))
+	}
+	if want(8) {
+		for _, reg := range []corpus.Register{corpus.CUDA, corpus.OpenCL, corpus.XeonPhi} {
+			fmt.Println(experiments.FormatTable8(reg, experiments.Table8(reg, selectors.DefaultConfig())))
+		}
+		fmt.Println("Xeon with §4.3 keyword tuning ('have to be', 'user', 'one'):")
+		fmt.Println(experiments.FormatTable8(corpus.XeonPhi, experiments.Table8(corpus.XeonPhi, selectors.XeonTunedConfig())))
+	}
+	if *table == 0 {
+		fmt.Println("Fleiss' kappa of the simulated expert raters (paper: > 0.8):")
+		kappas := experiments.Kappas()
+		for _, guide := range []string{"CUDA", "OpenCL", "Xeon"} {
+			fmt.Printf("  %-8s %.3f\n", guide, kappas[guide])
+		}
+		fmt.Println()
+	}
+	if *ablations {
+		points := experiments.ThresholdSweep(cudaGuide, cudaAdvisor,
+			[]float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40})
+		fmt.Println(experiments.FormatThresholdSweep(points))
+		fmt.Println("Ablation: leave-one-selector-out (CUDA recognition):")
+		fmt.Println(experiments.FormatTable8(corpus.CUDA,
+			experiments.Table8LeaveOneOut(corpus.CUDA, selectors.DefaultConfig())))
+		fmt.Println("Ablation: TextRank summarization baseline (CUDA, same budget):")
+		fmt.Println(experiments.FormatTable8(corpus.CUDA,
+			experiments.Table8WithSummarizer(corpus.CUDA, selectors.DefaultConfig())))
+		fmt.Println(experiments.FormatAttribution(corpus.CUDA,
+			experiments.CategoryAttribution(corpus.CUDA, selectors.DefaultConfig())))
+		fmt.Println(experiments.FormatRetrievalAblation(
+			experiments.RetrievalAblation(cudaGuide, cudaAdvisor)))
+	}
+}

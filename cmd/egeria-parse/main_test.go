@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/depparse"
+)
+
+func TestConLLFormat(t *testing.T) {
+	tree := depparse.ParseText("Avoid bank conflicts.")
+	out := ConLL(tree)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Avoid") || !strings.Contains(lines[0], "root") {
+		t.Errorf("root row: %q", lines[0])
+	}
+	// lemma column present
+	if !strings.Contains(lines[2], "conflict") {
+		t.Errorf("lemma row: %q", lines[2])
+	}
+	// punctuation row shows head 0
+	if !strings.Contains(lines[3], "punct") {
+		t.Errorf("punct row: %q", lines[3])
+	}
+}
+
+func TestConLLHeadIndices(t *testing.T) {
+	tree := depparse.ParseText("The compiler unrolls loops.")
+	out := ConLL(tree)
+	// "The" (token 1) heads to "compiler" (token 2)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "  2  det") {
+		t.Errorf("det head column wrong: %q", lines[0])
+	}
+}
+
+func TestClip(t *testing.T) {
+	if got := clip("short", 18); got != "short" {
+		t.Errorf("%q", got)
+	}
+	long := clip("averyverylongtokenthatkeepsgoing", 10)
+	if len(long) > 12 { // 9 bytes + ellipsis rune
+		t.Errorf("clip too long: %q", long)
+	}
+}
+
+func TestIndent(t *testing.T) {
+	if got := indent("a\nb\n"); got != "  a\n  b\n" {
+		t.Errorf("%q", got)
+	}
+}

@@ -1,0 +1,283 @@
+// Command egeria is the framework CLI: it synthesizes an advising tool from
+// an HPC document and lets you list its rules, ask optimization questions,
+// answer profiler reports, or serve the tool over HTTP.
+//
+// Usage:
+//
+//	egeria -doc guide.html rules
+//	egeria -corpus cuda query "how to avoid shared memory bank conflicts"
+//	egeria -corpus cuda report norm            # synthesize + answer a report
+//	egeria -doc guide.html report report.txt   # answer a report file
+//	egeria -corpus cuda serve -addr :8080
+//
+// The -corpus flag selects a built-in synthetic guide (cuda, opencl, xeon)
+// instead of an HTML document; -xeon-tuned applies the paper's §4.3 keyword
+// tuning; -threshold overrides the 0.15 recommendation threshold.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/htmldoc"
+	"repro/internal/nvvp"
+	"repro/internal/selectors"
+	"repro/internal/webui"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("egeria: ")
+
+	var (
+		docPath   = flag.String("doc", "", "document to build the advisor from (.html, .md, .txt by extension)")
+		corpusReg = flag.String("corpus", "", "built-in synthetic guide: cuda, opencl, xeon")
+		seed      = flag.Int64("seed", 1, "corpus generation seed")
+		threshold = flag.Float64("threshold", 0.15, "similarity threshold for recommendations")
+		xeonTuned = flag.Bool("xeon-tuned", false, "use the Xeon-tuned keyword sets (§4.3)")
+		cfgPath   = flag.String("config", "", "JSON keyword configuration merged over the defaults")
+		addr      = flag.String("addr", ":8080", "listen address for serve")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := selectors.DefaultConfig()
+	if *xeonTuned {
+		cfg = selectors.XeonTunedConfig()
+	}
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		extra, err := selectors.ReadConfigJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = cfg.Merge(extra)
+	}
+	fw := core.New(core.WithConfig(cfg), core.WithThreshold(*threshold))
+	advisor, title, err := buildAdvisor(fw, *docPath, *corpusReg, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch args[0] {
+	case "rules":
+		cmdRules(advisor)
+	case "query":
+		if len(args) < 2 {
+			log.Fatal("query requires the question text")
+		}
+		cmdQuery(advisor, strings.Join(args[1:], " "))
+	case "report":
+		if len(args) < 2 {
+			log.Fatal("report requires a program name or report file")
+		}
+		cmdReport(advisor, args[1])
+	case "serve":
+		log.Printf("serving %s on %s", title, *addr)
+		if err := http.ListenAndServe(*addr, webui.New(advisor, title)); err != nil {
+			log.Fatal(err)
+		}
+	case "repl":
+		cmdREPL(advisor, title)
+	case "save":
+		if len(args) < 2 {
+			log.Fatal("save requires an output path")
+		}
+		f, err := os.Create(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := advisor.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("advisor saved to %s (reload with LoadAdvisor)", args[1])
+	case "export":
+		if len(args) < 2 {
+			log.Fatal("export requires an output path")
+		}
+		if *corpusReg == "" {
+			log.Fatal("export only applies to -corpus guides")
+		}
+		if err := exportCorpus(*corpusReg, *seed, args[1]); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("synthetic guide exported to %s", args[1])
+	default:
+		log.Fatalf("unknown subcommand %q (want rules, query, report, repl, serve, save, export)", args[0])
+	}
+}
+
+func buildAdvisor(fw *core.Framework, docPath, corpusReg string, seed int64) (*core.Advisor, string, error) {
+	switch {
+	case docPath != "":
+		data, err := os.ReadFile(docPath)
+		if err != nil {
+			return nil, "", err
+		}
+		var doc *htmldoc.Document
+		switch {
+		case strings.HasSuffix(docPath, ".md") || strings.HasSuffix(docPath, ".markdown"):
+			doc = htmldoc.ParseMarkdown(string(data))
+		case strings.HasSuffix(docPath, ".txt"):
+			doc = htmldoc.ParsePlainText(string(data))
+		default:
+			doc = htmldoc.Parse(string(data))
+		}
+		return fw.BuildFromDocument(doc), docPath, nil
+	case corpusReg != "":
+		var reg corpus.Register
+		switch strings.ToLower(corpusReg) {
+		case "cuda":
+			reg = corpus.CUDA
+		case "opencl":
+			reg = corpus.OpenCL
+		case "xeon", "xeonphi":
+			reg = corpus.XeonPhi
+		default:
+			return nil, "", fmt.Errorf("unknown corpus %q", corpusReg)
+		}
+		g := corpus.Generate(reg, seed)
+		return fw.BuildFromSentences(g.Doc, g.Sentences), g.Doc.Title, nil
+	}
+	return nil, "", fmt.Errorf("one of -doc or -corpus is required")
+}
+
+func cmdRules(a *core.Advisor) {
+	rules := a.Rules()
+	st := a.BuildStats()
+	fmt.Printf("%d advising sentences out of %d (ratio %.1f); Stage I %v, indexing %v\n",
+		len(rules), a.SentenceCount(), a.CompressionRatio(), st.StageI.Round(time.Millisecond), st.Indexing.Round(time.Millisecond))
+	for _, sel := range []selectors.SelectorID{selectors.Keyword, selectors.Comparative, selectors.Imperative, selectors.Subject, selectors.Purpose} {
+		if n := st.BySelector[sel]; n > 0 {
+			fmt.Printf("  %-28s %d\n", sel, n)
+		}
+	}
+	fmt.Println()
+	lastSection := ""
+	for _, r := range rules {
+		if r.Section != lastSection {
+			fmt.Printf("%s\n", r.Section)
+			lastSection = r.Section
+		}
+		fmt.Printf("  - %s  [%s]\n", r.Text, r.Selector)
+	}
+}
+
+func cmdQuery(a *core.Advisor, q string) {
+	answers := a.Query(q)
+	if len(answers) == 0 {
+		fmt.Println("No relevant sentences found.")
+		return
+	}
+	for _, ans := range answers {
+		fmt.Printf("%.2f  [%s]  %s\n", ans.Score, ans.Sentence.Section, ans.Sentence.Text)
+	}
+}
+
+func cmdReport(a *core.Advisor, arg string) {
+	var text string
+	if data, err := os.ReadFile(arg); err == nil {
+		text = string(data)
+	} else {
+		synth, serr := nvvp.Synthesize(arg)
+		if serr != nil {
+			log.Fatalf("%q is neither a readable file (%v) nor a known program (%v)", arg, err, serr)
+		}
+		text = synth
+	}
+	report, err := parseAnyReport(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ra := range a.AnswerReport(report) {
+		fmt.Printf("== Issue: %s (section %s)\n", ra.Issue.Title, ra.Issue.Section)
+		if len(ra.Answers) == 0 {
+			fmt.Println("   No relevant sentences found.")
+			continue
+		}
+		for _, ans := range ra.Answers {
+			fmt.Printf("   %.2f  [%s]  %s\n", ans.Score, ans.Sentence.Section, ans.Sentence.Text)
+		}
+	}
+}
+
+// cmdREPL runs an interactive question loop against the advisor — the
+// terminal analogue of the web tool's query box.
+func cmdREPL(a *core.Advisor, title string) {
+	fmt.Printf("%s — %d rules from %d sentences. Ask optimization questions; blank line quits.\n",
+		title, len(a.Rules()), a.SentenceCount())
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("egeria> ")
+		if !scanner.Scan() {
+			break
+		}
+		q := strings.TrimSpace(scanner.Text())
+		if q == "" {
+			break
+		}
+		answers := a.Query(q)
+		if len(answers) == 0 {
+			fmt.Println("No relevant sentences found.")
+			continue
+		}
+		for i, ans := range answers {
+			if i >= 10 {
+				fmt.Printf("... and %d more\n", len(answers)-i)
+				break
+			}
+			fmt.Printf("  %.2f  [%s]\n        %s\n", ans.Score, ans.Sentence.Section, ans.Sentence.Text)
+		}
+	}
+}
+
+// exportCorpus renders a synthetic guide as an HTML file, so the HTML
+// ingestion path can be exercised against a document with known properties.
+func exportCorpus(register string, seed int64, path string) error {
+	var reg corpus.Register
+	switch strings.ToLower(register) {
+	case "cuda":
+		reg = corpus.CUDA
+	case "opencl":
+		reg = corpus.OpenCL
+	case "xeon", "xeonphi":
+		reg = corpus.XeonPhi
+	default:
+		return fmt.Errorf("unknown corpus %q", register)
+	}
+	g := corpus.Generate(reg, seed)
+	return os.WriteFile(path, []byte(g.RenderHTML()), 0o644)
+}
+
+// parseAnyReport accepts both supported profiler formats: the NVVP-style
+// text report and the JSON metrics snapshot.
+func parseAnyReport(text string) (*nvvp.Report, error) {
+	trimmed := strings.TrimSpace(text)
+	if strings.HasPrefix(trimmed, "{") {
+		m, err := nvvp.ParseMetricsJSON([]byte(trimmed))
+		if err != nil {
+			return nil, err
+		}
+		return m.Report(), nil
+	}
+	return nvvp.Parse(text)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBuildAdvisorFromCorpus(t *testing.T) {
+	fw := core.New()
+	for _, reg := range []string{"cuda", "opencl", "xeon", "XeonPhi"} {
+		a, title, err := buildAdvisor(fw, "", reg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", reg, err)
+		}
+		if a.SentenceCount() == 0 || title == "" {
+			t.Errorf("%s: empty advisor", reg)
+		}
+	}
+	if _, _, err := buildAdvisor(fw, "", "fortran", 1); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+	if _, _, err := buildAdvisor(fw, "", "", 1); err == nil {
+		t.Error("neither -doc nor -corpus rejected")
+	}
+}
+
+func TestBuildAdvisorFromDocFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "guide.html")
+	html := `<html><head><title>T</title></head><body><h1>1. X</h1>
+<p>Avoid bank conflicts by padding. The warp size is thirty-two threads.</p></body></html>`
+	if err := os.WriteFile(path, []byte(html), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, title, err := buildAdvisor(core.New(), path, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if title != path || a.SentenceCount() != 2 {
+		t.Errorf("title %q count %d", title, a.SentenceCount())
+	}
+	if _, _, err := buildAdvisor(core.New(), filepath.Join(dir, "missing.html"), "", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestExportCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "xeon.html")
+	if err := exportCorpus("xeon", 1, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Xeon Phi Best Practice Guide") {
+		t.Error("exported HTML missing title")
+	}
+	a, _, err := buildAdvisor(core.New(), path, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SentenceCount() != 558 {
+		t.Errorf("re-ingested guide has %d sentences", a.SentenceCount())
+	}
+	if err := exportCorpus("bogus", 1, path); err == nil {
+		t.Error("bogus register accepted")
+	}
+}
+
+func TestParseAnyReportDispatch(t *testing.T) {
+	// JSON metrics
+	r, err := parseAnyReport(`{"program": "k", "warp_execution_efficiency": 0.4,
+		"occupancy": 0.9, "global_load_efficiency": 0.9, "branch_divergence": 0.0,
+		"dram_utilization": 0.2, "issue_slot_utilization": 0.9,
+		"low_throughput_inst_fraction": 0.0, "transfer_compute_ratio": 0.1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Issues()) != 1 {
+		t.Errorf("metrics issues: %+v", r.Issues())
+	}
+	// text report
+	r2, err := parseAnyReport("=== NVVP Analysis Report ===\nProgram: a.cu\n\n-- 1. Overview --\nbody\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Program != "a.cu" {
+		t.Errorf("program %q", r2.Program)
+	}
+	// garbage in both formats
+	if _, err := parseAnyReport("{broken json"); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := parseAnyReport("not a report"); err == nil {
+		t.Error("broken text accepted")
+	}
+}

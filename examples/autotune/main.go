@@ -1,0 +1,74 @@
+// Autotune: the closed loop the Egeria workflow enables, run end to end on
+// the simulated substrate —
+//
+//	model the kernel → profile it (JSON metrics → issues) → query the
+//	advisor with each issue → map the retrieved advice to source
+//	optimizations → apply them to the kernel model → re-profile,
+//
+// iterating until the profiler reports no further issues or no new advice
+// maps to an optimization. This exercises the metrics profiler format (the
+// paper's future-work extension) and demonstrates that the advisor's output
+// is actionable, not just readable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/gpusim"
+	"repro/internal/nvvp"
+	"repro/internal/study"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	guide := corpus.Generate(corpus.CUDA, 1)
+	advisor := core.New().BuildFromSentences(guide.Doc, guide.Sentences)
+	device := gpusim.GTX780()
+
+	kernel := gpusim.NormKernel()
+	base := kernel
+	applied := map[gpusim.Optimization]bool{}
+
+	for round := 1; round <= 6; round++ {
+		metrics := nvvp.ProfileKernel(kernel, device)
+		issues := metrics.Issues()
+		fmt.Printf("== Round %d: %.3f ms, %d issue(s)\n",
+			round, kernel.TimeOn(device)*1e3, len(issues))
+		if len(issues) == 0 {
+			fmt.Println("   profiler is clean; stopping")
+			break
+		}
+
+		// collect advice for every issue and map it to optimizations
+		var advice []string
+		for _, issue := range issues {
+			fmt.Printf("   issue: %s\n", issue.Title)
+			for _, ans := range advisor.Query(issue.Query()) {
+				advice = append(advice, ans.Sentence.Text)
+			}
+		}
+		newOpts := []gpusim.Optimization{}
+		for _, o := range study.MatchOptimizations(advice) {
+			if !applied[o] {
+				applied[o] = true
+				newOpts = append(newOpts, o)
+			}
+		}
+		if len(newOpts) == 0 {
+			fmt.Println("   no new optimizations surfaced; stopping")
+			break
+		}
+		for _, o := range newOpts {
+			fmt.Printf("   applying: %s\n", o)
+		}
+		kernel = gpusim.Apply(kernel, newOpts...)
+	}
+
+	fmt.Printf("\nFinal speedup on %s: %.2fX (%.3f ms -> %.3f ms)\n",
+		device.Name, gpusim.Speedup(base, kernel, device),
+		base.TimeOn(device)*1e3, kernel.TimeOn(device)*1e3)
+}

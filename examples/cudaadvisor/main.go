@@ -1,0 +1,60 @@
+// CUDA Adviser case study (paper §4.1): build the advisor for the CUDA-
+// register guide, feed it the norm.cu NVVP profiler report (Table 3), print
+// the recommended sentences with their section context (Table 4 / Fig. 4),
+// and answer the follow-up query the paper's students asked.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/nvvp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build the CUDA Adviser from the synthetic CUDA programming guide.
+	guide := corpus.Generate(corpus.CUDA, 1)
+	advisor := core.New().BuildFromSentences(guide.Doc, guide.Sentences)
+	fmt.Printf("CUDA Adviser: %d rules from %d sentences (ratio %.1f)\n\n",
+		len(advisor.Rules()), advisor.SentenceCount(), advisor.CompressionRatio())
+
+	// Table 3: synthesize and parse the norm.cu profiler report.
+	text, err := nvvp.Synthesize("norm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := nvvp.Parse(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Performance issues extracted from the NVVP report (Table 3):")
+	for _, issue := range report.Issues() {
+		fmt.Printf("   - %s [%s]\n", issue.Title, issue.Section)
+	}
+
+	// Fig. 4: recommendations per issue, with same-section context.
+	fmt.Println("\n== Recommendations (Fig. 4; highlighted = recommended):")
+	for _, ra := range advisor.AnswerReport(report) {
+		fmt.Printf("\nIssue: %s\n", ra.Issue.Title)
+		for _, ans := range ra.Answers {
+			fmt.Printf("  >> %.2f [%s]\n     %s\n", ans.Score, ans.Sentence.Section, ans.Sentence.Text)
+			for i, ctx := range advisor.ContextOf(ans) {
+				if i >= 2 {
+					break
+				}
+				fmt.Printf("      (context) %s\n", ctx.Text)
+			}
+		}
+	}
+
+	// Table 4: the example student query.
+	query := "reduce instruction and memory latency"
+	fmt.Printf("\n== Query: %q (Table 4):\n", query)
+	for _, ans := range advisor.Query(query) {
+		fmt.Printf("  %.2f [%s] %s\n", ans.Score, ans.Sentence.Section, ans.Sentence.Text)
+	}
+}

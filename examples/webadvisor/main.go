@@ -1,0 +1,45 @@
+// Web advisor (paper Figs. 6-7 / artifact appendix): serve the CUDA Adviser
+// over HTTP with a rule list front page, a query box, and NVVP report
+// upload. Visit http://localhost:8080 after starting.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/selectors"
+	"repro/internal/webui"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	register := flag.String("guide", "cuda", "guide register: cuda, opencl, xeon")
+	flag.Parse()
+
+	var reg corpus.Register
+	cfg := selectors.DefaultConfig()
+	title := "CUDA Adviser"
+	switch *register {
+	case "cuda":
+		reg = corpus.CUDA
+	case "opencl":
+		reg = corpus.OpenCL
+		title = "OpenCL Adviser"
+	case "xeon":
+		reg = corpus.XeonPhi
+		cfg = selectors.XeonTunedConfig()
+		title = "Xeon Phi Adviser"
+	default:
+		log.Fatalf("unknown guide %q", *register)
+	}
+
+	guide := corpus.Generate(reg, 1)
+	advisor := core.New(core.WithConfig(cfg)).BuildFromSentences(guide.Doc, guide.Sentences)
+	log.Printf("%s: %d rules from %d sentences; listening on %s",
+		title, len(advisor.Rules()), advisor.SentenceCount(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, webui.New(advisor, title)))
+}

@@ -1,0 +1,127 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/selectors"
+)
+
+var sentences = []string{
+	"Use shared memory to reduce global memory traffic.",      // 0 advising
+	"The warp size is thirty-two threads.",                    // 1 fact
+	"Avoid bank conflicts in shared memory.",                  // 2 advising
+	"Divergent branches lower warp execution efficiency.",     // 3 fact w/ keywords
+	"Each bank serves one request per cycle.",                 // 4 fact
+	"Minimizing divergence improves the throughput of warps.", // 5 advising-ish
+}
+
+func TestKeywordSearchStemming(t *testing.T) {
+	got := KeywordSearch(sentences, []string{"divergence"})
+	// stemmed "diverg" matches both "Divergent" (no: divergent stems to
+	// "diverg"? "divergent" -> step: 'ent' removal requires m>1: diverg-ent
+	// -> "diverg") and "divergence"/"Minimizing divergence".
+	if len(got) < 2 {
+		t.Errorf("stemming missed variants: %v", got)
+	}
+	found3, found5 := false, false
+	for _, i := range got {
+		if i == 3 {
+			found3 = true
+		}
+		if i == 5 {
+			found5 = true
+		}
+	}
+	if !found3 || !found5 {
+		t.Errorf("expected sentences 3 and 5, got %v", got)
+	}
+}
+
+func TestKeywordSearchPhrases(t *testing.T) {
+	got := KeywordSearch(sentences, []string{"warp execution efficiency"})
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("phrase match: %v", got)
+	}
+}
+
+func TestKeywordSearchEmpty(t *testing.T) {
+	if got := KeywordSearch(sentences, nil); got != nil {
+		t.Errorf("no keywords should match nothing: %v", got)
+	}
+	if got := KeywordSearch(nil, []string{"memory"}); got != nil {
+		t.Errorf("no sentences: %v", got)
+	}
+}
+
+func TestKeywordSearchNoStemmingIsStricter(t *testing.T) {
+	stemmed := KeywordSearch(sentences, []string{"divergence"})
+	raw := KeywordSearchNoStemming(sentences, []string{"divergence"})
+	if len(raw) > len(stemmed) {
+		t.Errorf("no-stemming found more: %v vs %v", raw, stemmed)
+	}
+	// exact substring still matches sentence 5
+	found := false
+	for _, i := range raw {
+		if i == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exact match missed: %v", raw)
+	}
+}
+
+func TestKeywordAllRecognize(t *testing.T) {
+	cfg := selectors.DefaultConfig()
+	got := KeywordAllRecognize(cfg, sentences)
+	if len(got) != len(sentences) {
+		t.Fatal("length")
+	}
+	// sentence 0 contains "use"/"reduce" (imperative/flagging keywords)
+	if !got[0] {
+		t.Error("KeywordAll should flag sentence 0")
+	}
+	// sentence 4 contains none of the keywords
+	if got[4] {
+		t.Error("KeywordAll flagged a clean sentence")
+	}
+}
+
+func TestKeywordAllSupersetOfSelector1(t *testing.T) {
+	cfg := selectors.DefaultConfig()
+	rec := selectors.New(cfg)
+	all := KeywordAllRecognize(cfg, sentences)
+	for i, s := range sentences {
+		if rec.Selector1(s) && !all[i] {
+			t.Errorf("KeywordAll missed a selector-1 sentence: %q", s)
+		}
+	}
+}
+
+func TestSingleSelectorRecognize(t *testing.T) {
+	rec := selectors.Default()
+	imp := SingleSelectorRecognize(rec, 3, sentences)
+	if !imp[0] || !imp[2] {
+		t.Errorf("imperative selector missed imperatives: %v", imp)
+	}
+	if imp[1] || imp[4] {
+		t.Errorf("imperative selector flagged facts: %v", imp)
+	}
+}
+
+func TestQueryKeywordsCoverAllIssues(t *testing.T) {
+	issues := []string{
+		"Low Warp Execution Efficiency",
+		"Divergent Branches",
+		"Global Memory Alignment and Access Pattern",
+		"GPU Utilization is Limited by Memory Instruction Execution",
+		"Instruction Latencies may be Limiting Performance",
+		"GPU Utilization is Limited by Memory Bandwidth",
+		"Something Unknown",
+	}
+	for _, issue := range issues {
+		if cands := QueryKeywords(issue); len(cands) == 0 {
+			t.Errorf("no candidates for %q", issue)
+		}
+	}
+}

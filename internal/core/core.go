@@ -1,0 +1,349 @@
+// Package core implements the Egeria framework itself: the generator of HPC
+// advising tools. A Framework holds the configuration (keyword sets,
+// similarity threshold, parallelism); feeding it a document synthesizes an
+// Advisor — the two-stage pipeline of the paper:
+//
+//	Stage I  (advising sentence recognition): the five multi-layered
+//	         selectors classify every sentence of the document.
+//	Stage II (knowledge recommendation): a TF-IDF vector space over the
+//	         document retrieves, from the Stage-I output, the advising
+//	         sentences relevant to a query (natural-language text or an
+//	         NVVP profiler report), using cosine similarity with the
+//	         paper's 0.15 recommendation threshold.
+//
+// Stage I is embarrassingly parallel over sentences and fans out across
+// GOMAXPROCS goroutines by default.
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/depparse"
+	"repro/internal/htmldoc"
+	"repro/internal/nvvp"
+	"repro/internal/selectors"
+	"repro/internal/vsm"
+)
+
+// Framework is the advisor generator. The zero value is not usable; call
+// New.
+type Framework struct {
+	cfg         selectors.Config
+	recognizer  *selectors.Recognizer
+	threshold   float64
+	parallelism int
+}
+
+// Option configures a Framework.
+type Option func(*Framework)
+
+// WithConfig replaces the default Table 2 keyword sets.
+func WithConfig(cfg selectors.Config) Option {
+	return func(f *Framework) { f.cfg = cfg }
+}
+
+// WithThreshold replaces the default 0.15 similarity threshold.
+func WithThreshold(t float64) Option {
+	return func(f *Framework) { f.threshold = t }
+}
+
+// WithParallelism fixes the Stage-I worker count (<=1 forces serial).
+func WithParallelism(n int) Option {
+	return func(f *Framework) { f.parallelism = n }
+}
+
+// New creates a Framework with the paper's defaults.
+func New(opts ...Option) *Framework {
+	f := &Framework{
+		cfg:         selectors.DefaultConfig(),
+		threshold:   vsm.DefaultThreshold,
+		parallelism: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	f.recognizer = selectors.New(f.cfg)
+	return f
+}
+
+// Config returns the framework's keyword configuration.
+func (f *Framework) Config() selectors.Config { return f.cfg }
+
+// Recognizer exposes the compiled Stage-I recognizer (used by the
+// experiment harness for per-selector ablations).
+func (f *Framework) Recognizer() *selectors.Recognizer { return f.recognizer }
+
+// AdvisingSentence is one Stage-I result.
+type AdvisingSentence struct {
+	Index    int // sentence index within the source document
+	Text     string
+	Section  string // section path ("5.4.2. Control Flow Instructions")
+	Selector selectors.SelectorID
+}
+
+// BuildStats describes what Stage I did to a document.
+type BuildStats struct {
+	Sentences  int
+	Advising   int
+	BySelector map[selectors.SelectorID]int
+	StageI     time.Duration // recognition (NLP) time
+	Indexing   time.Duration // TF-IDF index construction time
+}
+
+// Advisor is a synthesized advising tool for one document.
+type Advisor struct {
+	doc       *htmldoc.Document
+	sentences []htmldoc.Sentence
+	advising  []AdvisingSentence
+	isAdv     []bool // per sentence index
+	index     *vsm.Index
+	threshold float64
+	stats     BuildStats
+}
+
+// BuildFromHTML synthesizes an advisor from a raw HTML guide.
+func (f *Framework) BuildFromHTML(html string) *Advisor {
+	doc := htmldoc.Parse(html)
+	return f.BuildFromDocument(doc)
+}
+
+// BuildFromDocument synthesizes an advisor from a loaded document.
+func (f *Framework) BuildFromDocument(doc *htmldoc.Document) *Advisor {
+	return f.BuildFromSentences(doc, doc.Sentences())
+}
+
+// BuildFromSentences synthesizes an advisor from pre-split sentences (the
+// path used by the synthetic corpora, whose ground-truth labels align with
+// exactly these sentence boundaries). doc may be nil.
+func (f *Framework) BuildFromSentences(doc *htmldoc.Document, sents []htmldoc.Sentence) *Advisor {
+	a := &Advisor{
+		doc:       doc,
+		sentences: sents,
+		isAdv:     make([]bool, len(sents)),
+		threshold: f.threshold,
+		stats: BuildStats{
+			Sentences:  len(sents),
+			BySelector: map[selectors.SelectorID]int{},
+		},
+	}
+	start := time.Now()
+	results := f.classifyAll(sents)
+	a.stats.StageI = time.Since(start)
+	for i, res := range results {
+		if !res.Advising {
+			continue
+		}
+		a.isAdv[i] = true
+		a.stats.BySelector[res.Selector]++
+		section := ""
+		if doc != nil && sents[i].Section >= 0 && sents[i].Section < len(doc.Sections) {
+			section = doc.Sections[sents[i].Section].Path()
+		}
+		a.advising = append(a.advising, AdvisingSentence{
+			Index:    i,
+			Text:     sents[i].Text,
+			Section:  section,
+			Selector: res.Selector,
+		})
+	}
+	a.stats.Advising = len(a.advising)
+	// the TF-IDF model is built over the whole document (as the artifact
+	// describes) so term weights reflect corpus-wide statistics; Stage II
+	// then restricts matches to the advising subset.
+	texts := make([]string, len(sents))
+	for i, s := range sents {
+		texts[i] = s.Text
+	}
+	start = time.Now()
+	a.index = vsm.Build(texts)
+	a.stats.Indexing = time.Since(start)
+	return a
+}
+
+// BuildStats returns the Stage-I statistics recorded at build time. A loaded
+// advisor (LoadAdvisor) reconstructs counts but not timings.
+func (a *Advisor) BuildStats() BuildStats {
+	// defensive copy of the map
+	out := a.stats
+	out.BySelector = make(map[selectors.SelectorID]int, len(a.stats.BySelector))
+	for k, v := range a.stats.BySelector {
+		out.BySelector[k] = v
+	}
+	return out
+}
+
+// classifyAll runs Stage I over all sentences, parallel across workers.
+func (f *Framework) classifyAll(sents []htmldoc.Sentence) []selectors.Result {
+	n := len(sents)
+	out := make([]selectors.Result, n)
+	workers := f.parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range sents {
+			out[i] = f.classifyOne(sents[i].Text)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f.classifyOne(sents[i].Text)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func (f *Framework) classifyOne(text string) selectors.Result {
+	tree := depparse.ParseText(text)
+	return f.recognizer.ClassifyParsed(tree)
+}
+
+// Rules returns the Stage-I output: the concise list of advising sentences
+// extracted from the document (what the tool's front page shows).
+func (a *Advisor) Rules() []AdvisingSentence { return a.advising }
+
+// SentenceCount returns the document's total sentence count.
+func (a *Advisor) SentenceCount() int { return len(a.sentences) }
+
+// IsAdvising reports Stage I's decision for sentence i.
+func (a *Advisor) IsAdvising(i int) bool {
+	return i >= 0 && i < len(a.isAdv) && a.isAdv[i]
+}
+
+// SentenceText returns the text of sentence i ("" when out of range).
+func (a *Advisor) SentenceText(i int) string {
+	if i < 0 || i >= len(a.sentences) {
+		return ""
+	}
+	return a.sentences[i].Text
+}
+
+// SectionOf returns the section path of sentence i ("" when unknown).
+func (a *Advisor) SectionOf(i int) string {
+	if a.doc == nil || i < 0 || i >= len(a.sentences) {
+		return ""
+	}
+	si := a.sentences[i].Section
+	if si < 0 || si >= len(a.doc.Sections) {
+		return ""
+	}
+	return a.doc.Sections[si].Path()
+}
+
+// CompressionRatio returns total sentences / advising sentences — the
+// "Ratio" column of the paper's Table 7.
+func (a *Advisor) CompressionRatio() float64 {
+	if len(a.advising) == 0 {
+		return 0
+	}
+	return float64(len(a.sentences)) / float64(len(a.advising))
+}
+
+// Answer is one Stage-II recommendation.
+type Answer struct {
+	Sentence AdvisingSentence
+	Score    float64
+}
+
+// Query answers a natural-language query with the relevant advising
+// sentences at the framework's threshold, best first. An empty result
+// corresponds to the tool's "No relevant sentences found".
+func (a *Advisor) Query(q string) []Answer {
+	return a.QueryWithThreshold(q, a.threshold)
+}
+
+// QueryWithThreshold is Query with an explicit similarity threshold.
+func (a *Advisor) QueryWithThreshold(q string, threshold float64) []Answer {
+	scores := a.index.QueryAll(q)
+	var out []Answer
+	for _, adv := range a.advising {
+		if s := scores[adv.Index]; s >= threshold {
+			out = append(out, Answer{Sentence: adv, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Sentence.Index < out[j].Sentence.Index
+	})
+	return out
+}
+
+// FullDocQuery retrieves over the whole document without the Stage-I filter
+// — the paper's "full-doc" baseline (§4.2). Exposed here because it shares
+// the advisor's TF-IDF index.
+func (a *Advisor) FullDocQuery(q string, threshold float64) []Answer {
+	scores := a.index.QueryAll(q)
+	var out []Answer
+	for i, s := range scores {
+		if s < threshold {
+			continue
+		}
+		section := ""
+		if a.doc != nil {
+			si := a.sentences[i].Section
+			if si >= 0 && si < len(a.doc.Sections) {
+				section = a.doc.Sections[si].Path()
+			}
+		}
+		out = append(out, Answer{
+			Sentence: AdvisingSentence{Index: i, Text: a.sentences[i].Text, Section: section},
+			Score:    s,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Sentence.Index < out[j].Sentence.Index
+	})
+	return out
+}
+
+// ReportAnswer pairs one profiler issue with its recommendations.
+type ReportAnswer struct {
+	Issue   nvvp.Issue
+	Answers []Answer
+}
+
+// AnswerReport extracts the performance issues of an NVVP-style report and
+// answers each as a query — the report-driven path of the paper's §4.1.
+func (a *Advisor) AnswerReport(r *nvvp.Report) []ReportAnswer {
+	var out []ReportAnswer
+	for _, issue := range r.Issues() {
+		out = append(out, ReportAnswer{
+			Issue:   issue,
+			Answers: a.Query(issue.Query()),
+		})
+	}
+	return out
+}
+
+// ContextOf returns the other advising sentences sharing the section of the
+// given answer — the tool's "other advising sentences in the same
+// subsections" view (Fig. 4).
+func (a *Advisor) ContextOf(ans Answer) []AdvisingSentence {
+	var out []AdvisingSentence
+	for _, adv := range a.advising {
+		if adv.Section == ans.Sentence.Section && adv.Index != ans.Sentence.Index {
+			out = append(out, adv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/selectors"
+)
+
+// Example shows the minimal document -> advisor -> answer flow.
+func Example() {
+	guide := `<html><head><title>Mini</title></head><body>
+<h1>1. Performance</h1>
+<p>Use shared memory to reduce global memory traffic. The warp size is
+thirty-two threads. Avoid bank conflicts by padding the shared array.</p>
+</body></html>`
+
+	advisor := core.New().BuildFromHTML(guide)
+	fmt.Printf("rules: %d of %d sentences\n", len(advisor.Rules()), advisor.SentenceCount())
+	for _, a := range advisor.Query("how to avoid bank conflicts") {
+		fmt.Println(a.Sentence.Text)
+	}
+	// Output:
+	// rules: 2 of 3 sentences
+	// Avoid bank conflicts by padding the shared array.
+}
+
+// ExampleWithConfig extends the keyword sets for a new domain.
+func ExampleWithConfig() {
+	cfg := selectors.DefaultConfig().Merge(selectors.Config{
+		FlaggingWords: []string{"rule of thumb"},
+	})
+	advisor := core.New(core.WithConfig(cfg)).BuildFromHTML(
+		"<p>A useful rule of thumb is to size batches by the queue depth. The queue has eight slots.</p>")
+	fmt.Println(len(advisor.Rules()))
+	// Output:
+	// 1
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htmldoc"
+)
+
+const guideA = `<html><head><title>Guide A</title></head><body>
+<h1>1. Memory</h1>
+<p>Use shared memory to reduce global traffic. The warp size is thirty-two
+threads.</p></body></html>`
+
+const guideB = `<html><head><title>Guide B</title></head><body>
+<h1>1. Streams</h1>
+<p>Overlap transfers with kernels to achieve full utilization of the bus.
+Each stream owns a command queue.</p></body></html>`
+
+func TestBuildFromDocuments(t *testing.T) {
+	f := New()
+	a := f.BuildFromDocuments(htmldoc.Parse(guideA), htmldoc.Parse(guideB))
+	if a.SentenceCount() != 4 {
+		t.Fatalf("sentence count %d", a.SentenceCount())
+	}
+	rules := a.Rules()
+	if len(rules) != 2 {
+		t.Fatalf("rules: %+v", rules)
+	}
+	// provenance: section paths carry the document title
+	var sawA, sawB bool
+	for _, r := range rules {
+		if strings.Contains(r.Section, "Guide A") {
+			sawA = true
+		}
+		if strings.Contains(r.Section, "Guide B") {
+			sawB = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Errorf("provenance lost: %+v", rules)
+	}
+	// retrieval spans both documents
+	if got := a.Query("overlap transfers with streams"); len(got) == 0 {
+		t.Error("combined advisor cannot answer from document B")
+	}
+	if got := a.Query("shared memory traffic"); len(got) == 0 {
+		t.Error("combined advisor cannot answer from document A")
+	}
+}
+
+func TestBuildFromDocumentsSingleKeepsSections(t *testing.T) {
+	f := New()
+	a := f.BuildFromDocuments(htmldoc.Parse(guideA))
+	for _, r := range a.Rules() {
+		if strings.Contains(r.Section, "—") {
+			t.Errorf("single-doc build should not prefix sections: %q", r.Section)
+		}
+	}
+	if a.SentenceCount() != 2 {
+		t.Errorf("count %d", a.SentenceCount())
+	}
+}
+
+func TestBuildFromDocumentsNil(t *testing.T) {
+	f := New()
+	a := f.BuildFromDocuments(nil, htmldoc.Parse(guideA))
+	if a.SentenceCount() != 2 {
+		t.Errorf("nil document not skipped: %d", a.SentenceCount())
+	}
+}
+
+func TestDiffRules(t *testing.T) {
+	f := New()
+	v1 := f.BuildFromHTML(`<p>Use shared memory for the tile. Avoid bank conflicts
+by padding. The warp size is thirty-two threads.</p>`)
+	v2 := f.BuildFromHTML(`<p>Use shared memory for the tile. Align the base
+pointer to the transaction size. The warp size is thirty-two threads.</p>`)
+	d := DiffRules(v1, v2)
+	if len(d.Kept) != 1 || !strings.Contains(d.Kept[0].Sentence.Text, "Use shared memory") {
+		t.Errorf("kept: %+v", d.Kept)
+	}
+	if len(d.Added) != 1 || !strings.Contains(d.Added[0].Sentence.Text, "Align the base") {
+		t.Errorf("added: %+v", d.Added)
+	}
+	if len(d.Removed) != 1 || !strings.Contains(d.Removed[0].Sentence.Text, "Avoid bank conflicts") {
+		t.Errorf("removed: %+v", d.Removed)
+	}
+	if got := d.Summary(); got != "1 kept, 1 added, 1 removed" {
+		t.Errorf("summary %q", got)
+	}
+}
+
+func TestDiffRulesIdentical(t *testing.T) {
+	f := New()
+	v := f.BuildFromHTML(`<p>Avoid bank conflicts by padding.</p>`)
+	d := DiffRules(v, v)
+	if len(d.Added) != 0 || len(d.Removed) != 0 || len(d.Kept) != 1 {
+		t.Errorf("self diff: %s", d.Summary())
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/htmldoc"
+	"repro/internal/selectors"
+	"repro/internal/vsm"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// advisorSnapshot is the serialized form of an Advisor. The TF-IDF index is
+// rebuilt on load (it is cheap and deterministic); what persistence buys is
+// skipping Stage I, the expensive NLP pass over the document.
+type advisorSnapshot struct {
+	Version   int
+	Threshold float64
+	Title     string
+	Sections  []htmldoc.Section
+	Sentences []htmldoc.Sentence
+	Advising  []AdvisingSentence
+}
+
+// Save serializes the advisor so it can be reloaded without re-running
+// Stage I. The format is a versioned gob stream.
+func (a *Advisor) Save(w io.Writer) error {
+	snap := advisorSnapshot{
+		Version:   snapshotVersion,
+		Threshold: a.threshold,
+		Sentences: a.sentences,
+		Advising:  a.advising,
+	}
+	if a.doc != nil {
+		snap.Title = a.doc.Title
+		snap.Sections = a.doc.Sections
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: save advisor: %w", err)
+	}
+	return nil
+}
+
+// LoadAdvisor reconstructs an advisor from a Save stream, rebuilding the
+// retrieval index from the stored sentences.
+func LoadAdvisor(r io.Reader) (*Advisor, error) {
+	var snap advisorSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load advisor: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.Threshold <= 0 {
+		return nil, fmt.Errorf("core: snapshot has invalid threshold %v", snap.Threshold)
+	}
+	a := &Advisor{
+		sentences: snap.Sentences,
+		advising:  snap.Advising,
+		threshold: snap.Threshold,
+		isAdv:     make([]bool, len(snap.Sentences)),
+		stats: BuildStats{
+			Sentences:  len(snap.Sentences),
+			Advising:   len(snap.Advising),
+			BySelector: map[selectors.SelectorID]int{},
+		},
+	}
+	for _, adv := range snap.Advising {
+		a.stats.BySelector[adv.Selector]++
+	}
+	if snap.Title != "" || len(snap.Sections) > 0 {
+		a.doc = htmldoc.FromBlocks(snap.Title, snap.Sections)
+	}
+	for _, adv := range snap.Advising {
+		if adv.Index < 0 || adv.Index >= len(a.isAdv) {
+			return nil, fmt.Errorf("core: snapshot advising index %d out of range", adv.Index)
+		}
+		a.isAdv[adv.Index] = true
+	}
+	texts := make([]string, len(snap.Sentences))
+	for i, s := range snap.Sentences {
+		texts[i] = s.Text
+	}
+	a.index = vsm.Build(texts)
+	return a, nil
+}

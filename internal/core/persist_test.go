@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := corpus.GenerateSized(corpus.CUDA, 200, 0.25, 21)
+	orig := New().BuildFromSentences(g.Doc, g.Sentences)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAdvisor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage-I output identical
+	or, lr := orig.Rules(), loaded.Rules()
+	if len(or) != len(lr) {
+		t.Fatalf("rules: %d vs %d", len(or), len(lr))
+	}
+	for i := range or {
+		if or[i] != lr[i] {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, or[i], lr[i])
+		}
+	}
+	if orig.SentenceCount() != loaded.SentenceCount() {
+		t.Error("sentence count differs")
+	}
+	if orig.CompressionRatio() != loaded.CompressionRatio() {
+		t.Error("ratio differs")
+	}
+
+	// Stage-II answers identical (same sentences -> same index)
+	for _, q := range []string{
+		"how to avoid shared memory bank conflicts",
+		"reduce instruction and memory latency",
+		"zyzzyva nothing matches",
+	} {
+		oa := orig.Query(q)
+		la := loaded.Query(q)
+		if len(oa) != len(la) {
+			t.Fatalf("query %q: %d vs %d answers", q, len(oa), len(la))
+		}
+		for i := range oa {
+			if oa[i].Sentence.Index != la[i].Sentence.Index || !almostEq(oa[i].Score, la[i].Score) {
+				t.Errorf("query %q answer %d differs", q, i)
+			}
+		}
+	}
+
+	// IsAdvising preserved
+	for i := 0; i < orig.SentenceCount(); i++ {
+		if orig.IsAdvising(i) != loaded.IsAdvising(i) {
+			t.Fatalf("IsAdvising(%d) differs", i)
+		}
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func TestSaveLoadPreservesSections(t *testing.T) {
+	a := New().BuildFromHTML(miniGuide)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAdvisor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range loaded.Rules() {
+		if r.Section == "" {
+			t.Errorf("loaded rule %d lost its section", i)
+		}
+	}
+}
+
+func TestLoadAdvisorErrors(t *testing.T) {
+	if _, err := LoadAdvisor(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadAdvisor(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestLoadedAdvisorAnswersReports(t *testing.T) {
+	g := corpus.GenerateSized(corpus.CUDA, 200, 0.25, 21)
+	orig := New().BuildFromSentences(g.Doc, g.Sentences)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAdvisor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Query("minimize divergent warps"); len(got) == 0 {
+		t.Log("no answers on the small corpus; acceptable but suspicious")
+	}
+}

@@ -1,0 +1,379 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/htmldoc"
+)
+
+// genSent is one planned sentence with its ground truth.
+type genSent struct {
+	text  string
+	label Label
+}
+
+// secPlan is one planned section.
+type secPlan struct {
+	number string
+	title  string
+	level  int
+	sents  []genSent
+	inEval bool
+}
+
+// chapter skeletons surrounding the evaluation chapter, per register.
+func skeletonFor(reg Register) (pre, post []string, evalNum string, evalTitle string) {
+	switch reg {
+	case CUDA:
+		return []string{"Introduction", "Programming Model", "Programming Interface", "Hardware Implementation"},
+			[]string{"C Language Extensions", "Runtime Reference"},
+			"5", "Performance Guidelines"
+	case OpenCL:
+		return []string{"Architecture Overview"},
+			[]string{"Runtime and Host APIs", "Appendix"},
+			"2", "OpenCL Performance and Optimization for GCN Devices"
+	default:
+		// Xeon: the whole document is the labeled evaluation set; no
+		// pre/post chapters outside it.
+		return nil, nil, "1", "Best Practices"
+	}
+}
+
+func generate(reg Register, spec guideSpec, seed int64) *Guide {
+	rng := rand.New(rand.NewSource(seed))
+	slots := slotsFor(reg)
+	packs := packsFor(reg)
+
+	// global quotas
+	totalAdv := int(spec.advisingFrac*float64(spec.totalSentences) + 0.5)
+	if totalAdv < spec.evalAdvising {
+		totalAdv = spec.evalAdvising
+	}
+	restTotal := spec.totalSentences - spec.evalSentences
+	if restTotal < 0 {
+		restTotal = 0
+	}
+	restAdv := totalAdv - spec.evalAdvising
+	if restAdv > restTotal {
+		restAdv = restTotal
+	}
+	if restAdv < 0 {
+		restAdv = 0
+	}
+
+	// nuggets available for the eval chapter, capped at the chapter's
+	// advising quota (small GenerateSized corpora take a nugget prefix)
+	var nuggets []genSent
+	nuggetsPerPack := make([][]genSent, len(packs))
+	for pi, p := range packs {
+		for _, n := range p.nuggets {
+			if len(nuggets) >= spec.evalAdvising {
+				break
+			}
+			gs := genSent{text: n.text, label: Label{
+				Advising: true, Category: n.category, Topic: p.name,
+				Subtopic: n.subtopic, Ambiguous: n.ambiguous,
+			}}
+			nuggetsPerPack[pi] = append(nuggetsPerPack[pi], gs)
+			nuggets = append(nuggets, gs)
+		}
+	}
+
+	hardTarget := int(spec.hardFrac*float64(totalAdv) + 0.5)
+	for _, n := range nuggets {
+		if n.label.Category == CatHard {
+			hardTarget--
+		}
+	}
+	if hardTarget < 0 {
+		hardTarget = 0
+	}
+
+	gen := &sentenceGen{rng: rng, slots: slots, reg: reg, seen: map[string]bool{}}
+
+	// bulk advising: fill eval chapter beyond the nuggets, plus the rest of
+	// the guide; hard quota is spread proportionally.
+	evalBulkAdv := spec.evalAdvising - len(nuggets)
+	if evalBulkAdv < 0 {
+		evalBulkAdv = 0
+	}
+	bulkAdvTotal := evalBulkAdv + restAdv
+	evalHard, restHard := splitQuota(hardTarget, evalBulkAdv, restAdv)
+	evalAdvSents := gen.advising(evalBulkAdv, evalHard)
+	restAdvSents := gen.advising(restAdv, restHard)
+	_ = bulkAdvTotal
+
+	// per-pack explanatory sentences occupy part of the eval chapter's
+	// non-advising budget
+	explainsPerPack := make([][]genSent, len(packs))
+	totalExplains := 0
+	for pi, p := range packs {
+		for _, n := range p.explain {
+			explainsPerPack[pi] = append(explainsPerPack[pi], genSent{text: n.text, label: Label{
+				Advising: false, Category: NonAdvising, Topic: p.name,
+				Ambiguous: n.ambiguous,
+			}})
+			totalExplains++
+		}
+	}
+
+	// non-advising quotas
+	evalNonAdv := spec.evalSentences - spec.evalAdvising
+	restNonAdv := restTotal - restAdv
+	totalNonAdv := evalNonAdv + restNonAdv
+	trapTarget := int(spec.trapFrac*float64(totalNonAdv) + 0.5)
+	evalTraps, restTraps := splitQuota(trapTarget, evalNonAdv, restNonAdv)
+	evalBulkNon := evalNonAdv - totalExplains
+	if evalBulkNon < 0 {
+		evalBulkNon = 0
+	}
+	evalNonSents := gen.nonAdvising(evalBulkNon, evalTraps)
+	for pi := range explainsPerPack {
+		evalNonSents = append(evalNonSents, explainsPerPack[pi]...)
+	}
+	rng.Shuffle(len(evalNonSents), func(i, j int) { evalNonSents[i], evalNonSents[j] = evalNonSents[j], evalNonSents[i] })
+	restNonSents := gen.nonAdvising(restNonAdv, restTraps)
+
+	// assemble the section plan
+	pre, post, evalNum, evalTitle := skeletonFor(reg)
+	preCount := restTotal * 2 / 5
+	preAdv := restAdv * 2 / 5
+
+	var plan []secPlan
+	num := 1
+	mixPre := mixSentences(rng, restAdvSents[:preAdv], restNonSents[:preCount-preAdv])
+	plan = append(plan, layoutChapters(rng, pre, &num, mixPre, false)...)
+
+	// evaluation chapter with one subsection per topic pack
+	evalPlan := layoutEvalChapter(rng, packs, nuggetsPerPack, evalAdvSents, evalNonSents, evalNum, evalTitle)
+	// renumber eval chapter to the next sequential chapter number when the
+	// skeleton's nominal number is already taken or out of order
+	if evalNum != fmt.Sprint(num) {
+		renumber(evalPlan, num)
+	}
+	num++
+	plan = append(plan, evalPlan...)
+
+	mixPost := mixSentences(rng, restAdvSents[preAdv:], restNonSents[preCount-preAdv:])
+	plan = append(plan, layoutChapters(rng, post, &num, mixPost, false)...)
+
+	return assemble(reg, spec, plan)
+}
+
+// splitQuota splits quota proportionally between two pools of sizes a and b.
+func splitQuota(quota, a, b int) (int, int) {
+	if quota <= 0 || a+b == 0 {
+		return 0, 0
+	}
+	qa := quota * a / (a + b)
+	if qa > a {
+		qa = a
+	}
+	qb := quota - qa
+	if qb > b {
+		qb = b
+	}
+	return qa, qb
+}
+
+// sentenceGen instantiates templates without exact duplicates when possible.
+type sentenceGen struct {
+	rng   *rand.Rand
+	slots map[string][]string
+	reg   Register
+	seen  map[string]bool
+}
+
+func (g *sentenceGen) instantiate(t sentenceTemplate, topic string) genSent {
+	var text string
+	for attempt := 0; attempt < 6; attempt++ {
+		text = sentenceCase(fill(g.rng, t.text, g.slots))
+		if !g.seen[text] {
+			break
+		}
+	}
+	g.seen[text] = true
+	return genSent{text: text, label: Label{
+		Advising:  t.category != NonAdvising,
+		Category:  t.category,
+		Topic:     topic,
+		Ambiguous: t.ambiguous,
+	}}
+}
+
+// advising produces n advising sentences, hard of them from the hard pools.
+func (g *sentenceGen) advising(n, hard int) []genSent {
+	if n <= 0 {
+		return nil
+	}
+	if hard > n {
+		hard = n
+	}
+	hardPool := hardAdvisingBank
+	if g.reg == XeonPhi {
+		hardPool = append(append([]sentenceTemplate{}, hardAdvisingBank...), xeonTunableHard...)
+	}
+	out := make([]genSent, 0, n)
+	for i := 0; i < hard; i++ {
+		out = append(out, g.instantiate(hardPool[g.rng.Intn(len(hardPool))], "general"))
+	}
+	for i := hard; i < n; i++ {
+		out = append(out, g.instantiate(advisingBank[g.rng.Intn(len(advisingBank))], "general"))
+	}
+	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// nonAdvising produces n non-advising sentences, traps of them from trapBank.
+func (g *sentenceGen) nonAdvising(n, traps int) []genSent {
+	if n <= 0 {
+		return nil
+	}
+	if traps > n {
+		traps = n
+	}
+	out := make([]genSent, 0, n)
+	for i := 0; i < traps; i++ {
+		out = append(out, g.instantiate(trapBank[g.rng.Intn(len(trapBank))], "general"))
+	}
+	for i := traps; i < n; i++ {
+		out = append(out, g.instantiate(explanatoryBank[g.rng.Intn(len(explanatoryBank))], "general"))
+	}
+	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// mixSentences interleaves advising and non-advising sentences randomly.
+func mixSentences(rng *rand.Rand, adv, non []genSent) []genSent {
+	out := make([]genSent, 0, len(adv)+len(non))
+	out = append(out, adv...)
+	out = append(out, non...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// layoutChapters distributes sentences across the given chapter titles, each
+// split into subsections of 12-20 sentences.
+func layoutChapters(rng *rand.Rand, titles []string, num *int, sents []genSent, inEval bool) []secPlan {
+	var plan []secPlan
+	if len(titles) == 0 {
+		return nil
+	}
+	perChapter := (len(sents) + len(titles) - 1) / len(titles)
+	idx := 0
+	for _, title := range titles {
+		chNum := fmt.Sprint(*num)
+		*num++
+		plan = append(plan, secPlan{number: chNum, title: title, level: 1, inEval: inEval})
+		remaining := perChapter
+		if idx+remaining > len(sents) {
+			remaining = len(sents) - idx
+		}
+		sub := 1
+		for remaining > 0 {
+			take := 12 + rng.Intn(9)
+			if take > remaining {
+				take = remaining
+			}
+			plan = append(plan, secPlan{
+				number: fmt.Sprintf("%s.%d", chNum, sub),
+				title:  subsectionTitle(rng, sub),
+				level:  2,
+				sents:  sents[idx : idx+take],
+				inEval: inEval,
+			})
+			idx += take
+			remaining -= take
+			sub++
+		}
+	}
+	// any residue goes into the last subsection
+	if idx < len(sents) && len(plan) > 0 {
+		plan[len(plan)-1].sents = append(plan[len(plan)-1].sents, sents[idx:]...)
+	}
+	return plan
+}
+
+var subsectionNames = []string{
+	"Overview", "Execution Resources", "Memory System", "Scheduling",
+	"Data Movement", "Caches", "Synchronization", "Numerical Behavior",
+	"Compilation", "Measurement", "Device Queries", "Versioning",
+}
+
+func subsectionTitle(rng *rand.Rand, sub int) string {
+	return subsectionNames[(sub-1+rng.Intn(3))%len(subsectionNames)]
+}
+
+// layoutEvalChapter builds the evaluation chapter: one subsection per topic
+// pack containing its nuggets plus a share of the bulk sentences.
+func layoutEvalChapter(rng *rand.Rand, packs []topicPack, nuggetsPerPack [][]genSent, bulkAdv, bulkNon []genSent, evalNum, evalTitle string) []secPlan {
+	plan := []secPlan{{number: evalNum, title: evalTitle, level: 1, inEval: true}}
+	nPacks := len(packs)
+	if nPacks == 0 {
+		nPacks = 1
+	}
+	ai, ni := 0, 0
+	for pi := 0; pi < len(packs); pi++ {
+		sents := append([]genSent{}, nuggetsPerPack[pi]...)
+		// share of bulk advising
+		aTake := (len(bulkAdv) - ai) / (len(packs) - pi)
+		sents = append(sents, bulkAdv[ai:ai+aTake]...)
+		ai += aTake
+		nTake := (len(bulkNon) - ni) / (len(packs) - pi)
+		sents = append(sents, bulkNon[ni:ni+nTake]...)
+		ni += nTake
+		rng.Shuffle(len(sents), func(i, j int) { sents[i], sents[j] = sents[j], sents[i] })
+		plan = append(plan, secPlan{
+			number: fmt.Sprintf("%s.%d", evalNum, pi+1),
+			title:  packs[pi].title,
+			level:  2,
+			sents:  sents,
+			inEval: true,
+		})
+	}
+	return plan
+}
+
+// renumber rewrites the chapter number of an eval-chapter plan in place.
+func renumber(plan []secPlan, num int) {
+	if len(plan) == 0 {
+		return
+	}
+	old := plan[0].number
+	plan[0].number = fmt.Sprint(num)
+	for i := 1; i < len(plan); i++ {
+		if len(plan[i].number) > len(old) && plan[i].number[:len(old)] == old {
+			plan[i].number = fmt.Sprint(num) + plan[i].number[len(old):]
+		}
+	}
+}
+
+// assemble converts the section plan into the Guide with aligned labels.
+func assemble(reg Register, spec guideSpec, plan []secPlan) *Guide {
+	g := &Guide{Register: reg}
+	var sections []htmldoc.Section
+	evalStart, evalEnd := -1, -1
+	for _, sp := range plan {
+		sec := htmldoc.Section{Number: sp.number, Title: sp.title, Level: sp.level}
+		si := len(sections)
+		for _, s := range sp.sents {
+			sec.Blocks = append(sec.Blocks, s.text)
+			if sp.inEval {
+				if evalStart < 0 {
+					evalStart = len(g.Sentences)
+				}
+				evalEnd = len(g.Sentences) + 1
+			}
+			g.Sentences = append(g.Sentences, htmldoc.Sentence{Text: s.text, Section: si})
+			g.Labels = append(g.Labels, s.label)
+		}
+		sections = append(sections, sec)
+	}
+	g.Doc = htmldoc.FromBlocks(spec.title, sections)
+	if evalStart < 0 {
+		evalStart, evalEnd = 0, len(g.Sentences)
+	}
+	g.EvalStart, g.EvalEnd = evalStart, evalEnd
+	return g
+}

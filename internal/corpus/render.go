@@ -1,0 +1,46 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderHTML serializes the guide as an HTML document in the shape of a
+// vendor guide (title, hN headings with section numbers, one paragraph per
+// block). Feeding the result through htmldoc.Parse reproduces the guide's
+// sentences, which lets integration tests exercise the production HTML path
+// (document loader -> advisor) against known ground truth.
+func (g *Guide) RenderHTML() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+	b.WriteString(escapeHTML(g.Doc.Title))
+	b.WriteString("</title></head>\n<body>\n")
+	for _, sec := range g.Doc.Sections {
+		level := sec.Level
+		if level < 1 {
+			level = 1
+		}
+		if level > 6 {
+			level = 6
+		}
+		heading := sec.Title
+		if sec.Number != "" {
+			heading = sec.Number + ". " + sec.Title
+		}
+		fmt.Fprintf(&b, "<h%d>%s</h%d>\n", level, escapeHTML(heading), level)
+		for _, block := range sec.Blocks {
+			fmt.Fprintf(&b, "<p>%s</p>\n", escapeHTML(block))
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func escapeHTML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;",
+		"<", "&lt;",
+		">", "&gt;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,61 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htmldoc"
+)
+
+func TestRenderHTMLRoundTrip(t *testing.T) {
+	g := GenerateSized(CUDA, 300, 0.2, 31)
+	html := g.RenderHTML()
+	doc := htmldoc.Parse(html)
+
+	if doc.Title != g.Doc.Title {
+		t.Errorf("title: %q vs %q", doc.Title, g.Doc.Title)
+	}
+	got := doc.Sentences()
+	if len(got) != len(g.Sentences) {
+		t.Fatalf("round trip produced %d sentences, want %d", len(got), len(g.Sentences))
+	}
+	for i := range got {
+		if got[i].Text != g.Sentences[i].Text {
+			t.Fatalf("sentence %d differs:\n got  %q\n want %q", i, got[i].Text, g.Sentences[i].Text)
+		}
+	}
+}
+
+func TestRenderHTMLSectionStructure(t *testing.T) {
+	g := GenerateSized(CUDA, 200, 0.2, 31)
+	doc := htmldoc.Parse(g.RenderHTML())
+	// every original section with blocks must resurface with its number
+	for _, sec := range g.Doc.Sections {
+		if sec.Number == "" || len(sec.Blocks) == 0 {
+			continue
+		}
+		if doc.SectionByNumber(sec.Number) == nil {
+			t.Errorf("section %s lost in round trip", sec.Number)
+		}
+	}
+}
+
+func TestRenderHTMLEscaping(t *testing.T) {
+	g := &Guide{Doc: htmldoc.FromBlocks("T & <T>", []htmldoc.Section{
+		{Number: "1", Title: "A < B", Level: 1, Blocks: []string{"Use x < y & z > w."}},
+	})}
+	html := g.RenderHTML()
+	if strings.Contains(html, "<T>") || strings.Contains(html, "x < y") {
+		t.Errorf("unescaped content:\n%s", html)
+	}
+	doc := htmldoc.Parse(html)
+	if doc.Title != "T & <T>" {
+		t.Errorf("title round trip: %q", doc.Title)
+	}
+	if len(doc.Sections) != 1 || len(doc.Sections[0].Blocks) != 1 {
+		t.Fatalf("sections: %+v", doc.Sections)
+	}
+	if doc.Sections[0].Blocks[0] != "Use x < y & z > w." {
+		t.Errorf("block round trip: %q", doc.Sections[0].Blocks[0])
+	}
+}

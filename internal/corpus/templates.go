@@ -1,0 +1,187 @@
+package corpus
+
+// sentenceTemplate is one slot-filled sentence pattern with its ground-truth
+// category fixed by construction.
+type sentenceTemplate struct {
+	text      string
+	category  Category
+	ambiguous bool
+	// egeriaTrap marks non-advising templates expected to fool Egeria's
+	// selectors (they contain a flagging keyword in a descriptive context);
+	// plain traps only fool the keyword baselines.
+	egeriaTrap bool
+}
+
+// Slot keys used by the banks (filled from each topic pack's slot map):
+//
+//	{np}     a resource/concept noun phrase ("shared memory", "the LDS")
+//	{np2}    a second noun phrase
+//	{goalvp} a base-form improvement verb phrase WITHOUT key predicates
+//	         ("increase the reuse of staged tiles")
+//	{keyvp}  a base-form verb phrase STARTING with a KEY PREDICATE
+//	         ("minimize the number of divergent warps")
+//	{impvp}  a base-form verb phrase starting with an IMPERATIVE WORD
+//	         ("use a multiple of the warp size")
+//	{ger}    a gerund phrase ("padding the shared array")
+//	{ger2}   a second gerund phrase
+//	{cond}   a subordinate condition clause body ("the access pattern is regular")
+//	{fact}   a declarative fact body ("each bank serves one request per cycle")
+//	{unit}   a hardware unit noun ("multiprocessor")
+//	{tool}   a tool/option noun phrase ("the occupancy calculator")
+//	{num}    a small number word ("two")
+//	{metric} a measurable quantity ("bandwidth utilization") — must avoid
+//	         flagging bigrams like "high bandwidth"
+//	{subject} a KEY SUBJECTS noun ("developers", "the application")
+//
+// Advising bank: each template reliably exhibits its category's pattern.
+var advisingBank = []sentenceTemplate{
+	// Category I — flagging keywords.
+	{text: "{np} can be a good choice when {cond}.", category: CatKeyword},
+	{text: "It is important to keep {np} busy while {np2} is in flight.", category: CatKeyword},
+	{text: "{np} is desirable for kernels in which {cond}.", category: CatKeyword},
+	{text: "One way to {goalvp} is {ger}.", category: CatKeyword},
+	{text: "{ger} can help when {cond}.", category: CatKeyword},
+	{text: "The key to sustained {metric} is {ger}.", category: CatKeyword},
+	{text: "{ger} is a good idea whenever {cond}.", category: CatKeyword},
+	{text: "{np} should stay within {np2} for the common case.", category: CatKeyword},
+	{text: "{ger} can be useful when {cond}.", category: CatKeyword},
+	{text: "Consider {ger} instead of {ger2} when {cond}.", category: CatKeyword},
+	{text: "{ger} can lead to measurably higher {metric}.", category: CatKeyword},
+
+	// Category II — comparative xcomp.
+	{text: "It is more efficient to {impvp} than to rely on {np}.", category: CatComparative},
+	{text: "It is recommended to {impvp} when {cond}.", category: CatComparative},
+	{text: "It is often faster to {impvp} if {cond}.", category: CatComparative},
+	{text: "A developer may prefer {ger} instead of {ger2} if {cond}.", category: CatComparative},
+	{text: "It is usually beneficial to {impvp} before launching the kernel.", category: CatComparative},
+	{text: "It is appropriate to {impvp} when {cond}.", category: CatComparative},
+
+	// Category III — passive with xcomp governor.
+	{text: "{np} can often be leveraged to {goalvp}.", category: CatPassive},
+	{text: "{np} can be controlled using {tool}.", category: CatPassive},
+	{text: "{subject} are encouraged to {impvp} during tuning.", category: CatPassive},
+	{text: "{np} is required to stay resident while {cond}.", category: CatPassive, ambiguous: true},
+
+	// Category IV — imperatives.
+	{text: "Use {np} to {goalvp}.", category: CatImperative},
+	{text: "Avoid {ger} inside the innermost loop.", category: CatImperative},
+	{text: "Align {np} to the transaction size reported by {tool}.", category: CatImperative},
+	{text: "Ensure that {cond} before enabling {np}.", category: CatImperative},
+	{text: "Unroll the innermost loop when {cond}.", category: CatImperative},
+	{text: "Pack small requests into {np} whenever {cond}.", category: CatImperative},
+	{text: "Move {np} out of the critical path, then measure again with {tool}.", category: CatImperative},
+	{text: "Schedule {np} ahead of {np2} so that the two phases overlap.", category: CatImperative},
+	{text: "Map {np} onto {np2} so that neighboring threads touch neighboring words.", category: CatImperative},
+
+	// Category V — key subjects.
+	{text: "{subject} can {impvp} for the hot loops of the kernel.", category: CatSubject},
+	{text: "{subject} should {impvp} once the profile confirms that {cond}.", category: CatSubject},
+	{text: "{subject} can also {impvp} when {cond}.", category: CatSubject},
+	{text: "For stable results, {subject} can {impvp} and compare against {tool}.", category: CatSubject},
+
+	// Category VI — purpose clauses with key predicates.
+	{text: "The first step in improving {metric} is to {keyvp}.", category: CatPurpose},
+	{text: "To {keyvp}, stage {np} through {np2}.", category: CatPurpose},
+	{text: "Tile the computation in order to {keyvp}.", category: CatPurpose},
+	{text: "Restructure {np} so as to {keyvp}.", category: CatPurpose},
+	{text: "Reorder the loop nest to {keyvp} on this {unit}.", category: CatPurpose},
+	{text: "Split the work at the boundary to {keyvp}.", category: CatPurpose},
+	{text: "Fuse the two passes in order to {keyvp}.", category: CatPurpose},
+
+	// additional category I variants
+	{text: "It is desirable to keep {np} warm between launches.", category: CatKeyword},
+	{text: "{ger} should come first, before any change to {np2}.", category: CatKeyword, ambiguous: true},
+	{text: "An effective way to {goalvp} is {ger}.", category: CatKeyword},
+	{text: "{ger} can be important once {cond}.", category: CatKeyword},
+
+	// additional category II variants
+	{text: "It is best to {impvp} while the profile is still fresh.", category: CatComparative},
+	{text: "It is more appropriate to {impvp} than to touch {np2}.", category: CatComparative},
+
+	// additional category IV variants
+	{text: "Call {tool} before and after {ger}.", category: CatImperative},
+	{text: "Create {np} once and reuse it across launches.", category: CatImperative},
+	{text: "Make {np} the unit of scheduling when {cond}.", category: CatImperative},
+	{text: "Add padding to {np} until {cond}.", category: CatImperative},
+	{text: "Select the variant of {np} that matches the {unit}.", category: CatImperative},
+
+	// additional category V variants
+	{text: "{subject} should verify with {tool} that {cond}.", category: CatSubject},
+	{text: "{subject} can fall back to {np2} whenever {cond}.", category: CatSubject},
+}
+
+// hardAdvisingBank: genuinely advising content that matches none of the six
+// patterns — the deliberate recall ceiling.
+var hardAdvisingBank = []sentenceTemplate{
+	{text: "Keeping {np} within {np2} pays off on every generation of this {unit}.", category: CatHard},
+	{text: "Trading precision for speed yields gains when the result tolerates it.", category: CatHard},
+	{text: "A layout that interleaves {np} with {np2} usually wins on this {unit}.", category: CatHard, ambiguous: true},
+	{text: "Fewer, larger transfers beat many small ones in almost every workload.", category: CatHard},
+	{text: "Warm caches make the second pass over {np} nearly free, a property worth engineering for.", category: CatHard, ambiguous: true},
+	{text: "There is rarely a substitute for measuring {metric} directly with {tool}.", category: CatHard, ambiguous: true},
+	{text: "Launch enough work per {unit} that scheduling gaps disappear.", category: CatHard},
+	{text: "When in doubt, restructure the data rather than the code.", category: CatHard},
+	{text: "Native functions run substantially faster, although at somewhat lower accuracy.", category: CatHard, ambiguous: true},
+	{text: "Arithmetic that hides behind outstanding loads costs nothing extra.", category: CatHard, ambiguous: true},
+	{text: "A cold start costs more than the steady state ever gives back, so warm {np} deliberately.", category: CatHard, ambiguous: true},
+	{text: "The cheapest {metric} comes from work you never issue.", category: CatHard, ambiguous: true},
+	{text: "Regularity beats cleverness on this {unit}; straight loops outrun branchy ones.", category: CatHard},
+}
+
+// explanatoryBank: non-advising sentences (architecture, definitions,
+// mechanics). They avoid every keyword stem in the default configuration.
+var explanatoryBank = []sentenceTemplate{
+	{text: "Each {unit} contains {num} copies of {np}.", category: NonAdvising},
+	{text: "{np} resides in {np2} and has a latency of several hundred cycles.", category: NonAdvising},
+	{text: "The hardware splits {np} into {num} independent regions.", category: NonAdvising},
+	{text: "When {cond}, the {unit} serializes the conflicting requests.", category: NonAdvising},
+	{text: "{np} is shared by all threads of a block, while {np2} is private to each thread.", category: NonAdvising},
+	{text: "The runtime tracks {np} and recycles it after the last reference.", category: NonAdvising},
+	{text: "A request to {np} is decomposed into {num} transactions by the {unit}.", category: NonAdvising},
+	{text: "In this generation, {np} and {np2} occupy the same physical storage.", category: NonAdvising},
+	{text: "{fact}.", category: NonAdvising},
+	{text: "The figure above illustrates how {np} flows through the {unit}.", category: NonAdvising},
+	{text: "This subsection describes the interaction between {np} and {np2}.", category: NonAdvising},
+	{text: "During a context switch, the {unit} drains {np} before resuming.", category: NonAdvising},
+	{text: "{np} is visible to the host only after the event completes.", category: NonAdvising},
+	{text: "The driver records the state of {np} at every synchronization point.", category: NonAdvising},
+	{text: "Older devices exposed {np} through a separate address space.", category: NonAdvising},
+	{text: "The compiler assigns {np} automatically during register allocation.", category: NonAdvising},
+	{text: "{np} has no effect on correctness; it changes only the timing of {np2}.", category: NonAdvising},
+	{text: "An example follows in which {cond}.", category: NonAdvising},
+	{text: "The table lists the capacity of {np} for each revision of the {unit}.", category: NonAdvising},
+	{text: "Execution time varies by instruction and is typically about {num} clock cycles.", category: NonAdvising},
+	{text: "The format of {np} is described in the appendix.", category: NonAdvising},
+	{text: "A miss in {np} costs roughly {num} times the hit time.", category: NonAdvising},
+	{text: "{np} and {np2} communicate through a dedicated channel on this {unit}.", category: NonAdvising},
+	{text: "The size of {np} is fixed at device initialization.", category: NonAdvising},
+	{text: "Every revision of the {unit} doubles the capacity of {np}.", category: NonAdvising},
+	{text: "The query interface exposes the state of {np} to the host.", category: NonAdvising},
+	{text: "Earlier chapters explained how {np} interacts with {np2}.", category: NonAdvising},
+	{text: "When {cond}, the {unit} raises a fault and halts the launch.", category: NonAdvising},
+}
+
+// trapBank: non-advising sentences containing keyword material. Those with
+// egeriaTrap=true defeat the full pipeline (they satisfy a selector rule
+// while a human would not call them advice); the rest only fool keyword
+// baselines.
+var trapBank = []sentenceTemplate{
+	// keyword-only traps (Egeria's syntax/semantics reject them)
+	{text: "This section provides some guidance for experienced programmers who are tuning {np} for the first time.", category: NonAdvising},
+	{text: "The scalar unit can use up to {num} operand sources per cycle.", category: NonAdvising},
+	{text: "Whether the transformation applies depends on how the programmer declared {np}.", category: NonAdvising},
+	{text: "The previous chapter defined the techniques referenced below.", category: NonAdvising},
+	{text: "The calculator selects {np} according to the device revision.", category: NonAdvising},
+	{text: "Earlier revisions mapped {np} onto {np2} in reverse order.", category: NonAdvising},
+	{text: "The glossary defines utilization, occupancy, and related optimization terminology.", category: NonAdvising},
+	// Egeria-fooling traps: a rule fires, yet the content is descriptive.
+	{text: "By default the driver should report {num} regions for {np}.", category: NonAdvising, egeriaTrap: true, ambiguous: true},
+	{text: "Requests that miss go to {np2} instead, as the figure shows.", category: NonAdvising, egeriaTrap: true, ambiguous: true},
+	{text: "The reported figure can be useful context when reading the tables below.", category: NonAdvising, egeriaTrap: true, ambiguous: true},
+	{text: "The appendix is a good start for terminology questions.", category: NonAdvising, egeriaTrap: true, ambiguous: true},
+	{text: "On revision {num} hardware, the application reaches the steady state after a warm-up pass.", category: NonAdvising, egeriaTrap: true, ambiguous: true},
+	{text: "The developers of the runtime document this behavior in the release notes.", category: NonAdvising, egeriaTrap: true, ambiguous: true},
+	{text: "A better interconnect arrived with the later revision of the {unit}.", category: NonAdvising, egeriaTrap: true, ambiguous: true},
+	{text: "The programmer guide lists the capacity of {np} for each revision.", category: NonAdvising},
+	{text: "Peak figures assume that {cond}, which rarely holds in practice.", category: NonAdvising, ambiguous: true},
+}

@@ -1,0 +1,18 @@
+package depparse_test
+
+import (
+	"fmt"
+
+	"repro/internal/depparse"
+)
+
+// Example parses the paper's Figure 2a sentence and prints the relation its
+// caption highlights.
+func Example() {
+	tree := depparse.ParseText("A developer may prefer using buffers instead of images.")
+	for _, r := range tree.RelationsOfType(depparse.Xcomp) {
+		fmt.Printf("xcomp(%s, %s)\n", tree.Word(r.Governor), tree.Word(r.Dependent))
+	}
+	// Output:
+	// xcomp(prefer, using)
+}

@@ -1,0 +1,261 @@
+package depparse
+
+import "testing"
+
+// golden is one sentence with the relations the parser must produce
+// (governor word, relation, dependent word). Only selector-relevant
+// relations are pinned; the rest of the tree may vary.
+type golden struct {
+	sentence string
+	rels     [][3]string // {type, governor, dependent}
+	noSubj   []string    // verbs that must NOT govern a subject
+	root     string
+}
+
+var goldenSuite = []golden{
+	{
+		sentence: "Use shared memory.",
+		root:     "Use",
+		rels:     [][3]string{{"dobj", "Use", "memory"}},
+		noSubj:   []string{"Use"},
+	},
+	{
+		sentence: "The compiler unrolls small loops automatically.",
+		root:     "unrolls",
+		rels: [][3]string{
+			{"nsubj", "unrolls", "compiler"},
+			{"dobj", "unrolls", "loops"},
+			{"advmod", "unrolls", "automatically"},
+		},
+	},
+	{
+		sentence: "Applications should coalesce their global accesses.",
+		root:     "coalesce",
+		rels: [][3]string{
+			{"nsubj", "coalesce", "Applications"},
+			{"aux", "coalesce", "should"},
+			{"poss", "accesses", "their"},
+		},
+	},
+	{
+		sentence: "The accesses are coalesced by the hardware.",
+		root:     "coalesced",
+		rels: [][3]string{
+			{"nsubjpass", "coalesced", "accesses"},
+			{"auxpass", "coalesced", "are"},
+			{"prep", "coalesced", "by"},
+			{"pobj", "by", "hardware"},
+		},
+	},
+	{
+		sentence: "Developers may want to measure the kernel first.",
+		root:     "want",
+		rels: [][3]string{
+			{"nsubj", "want", "Developers"},
+			{"xcomp", "want", "measure"},
+			{"mark", "measure", "to"},
+		},
+	},
+	{
+		sentence: "Tiling the loops improves locality.",
+		root:     "improves",
+		rels:     [][3]string{{"dobj", "improves", "locality"}},
+	},
+	{
+		sentence: "The hardware splits the request into two transactions.",
+		root:     "splits",
+		rels: [][3]string{
+			{"nsubj", "splits", "hardware"},
+			{"dobj", "splits", "request"},
+			{"pobj", "into", "transactions"},
+			{"num", "transactions", "two"},
+		},
+	},
+	{
+		sentence: "It is important to keep the pipeline busy.",
+		rels: [][3]string{
+			{"acomp", "is", "important"},
+			{"xcomp", "important", "keep"},
+		},
+	},
+	{
+		sentence: "Avoid atomics and use privatized counters.",
+		root:     "Avoid",
+		rels: [][3]string{
+			{"dobj", "Avoid", "atomics"},
+			{"conj", "Avoid", "use"},
+			{"cc", "Avoid", "and"},
+			{"dobj", "use", "counters"},
+		},
+		noSubj: []string{"Avoid", "use"},
+	},
+	{
+		sentence: "When the queue drains, submit the next batch.",
+		root:     "submit",
+		rels: [][3]string{
+			{"nsubj", "drains", "queue"},
+			{"mark", "drains", "When"},
+			{"advcl", "submit", "drains"},
+			{"dobj", "submit", "batch"},
+		},
+		noSubj: []string{"submit"},
+	},
+	{
+		// embedded questions are outside the rule grammar's scope: only the
+		// matrix clause is pinned
+		sentence: "The guide describes how the scheduler issues instructions.",
+		root:     "describes",
+		rels: [][3]string{
+			{"nsubj", "describes", "guide"},
+		},
+	},
+	{
+		sentence: "Programmers are encouraged to profile before tuning.",
+		root:     "encouraged",
+		rels: [][3]string{
+			{"nsubjpass", "encouraged", "Programmers"},
+			{"xcomp", "encouraged", "profile"},
+		},
+	},
+	{
+		sentence: "The L2 cache absorbs scattered traffic.",
+		root:     "absorbs",
+		rels: [][3]string{
+			{"nsubj", "absorbs", "cache"},
+			{"dobj", "absorbs", "traffic"},
+			{"amod", "traffic", "scattered"},
+		},
+	},
+	{
+		sentence: "To hide the latency, increase the number of resident warps.",
+		root:     "increase",
+		rels: [][3]string{
+			{"dobj", "increase", "number"},
+			{"dobj", "hide", "latency"},
+		},
+		noSubj: []string{"increase"},
+	},
+	{
+		sentence: "The runtime tracks every allocation and recycles it after the last reference.",
+		root:     "tracks",
+		rels: [][3]string{
+			{"nsubj", "tracks", "runtime"},
+			{"conj", "tracks", "recycles"},
+		},
+	},
+	{
+		sentence: "A kernel that spills registers loses throughput.",
+		rels: [][3]string{
+			{"nsubj", "spills", "kernel"},
+			{"dobj", "spills", "registers"},
+			{"dobj", "loses", "throughput"},
+		},
+	},
+	{
+		sentence: "Ensure that the buffer is aligned.",
+		root:     "Ensure",
+		rels: [][3]string{
+			{"nsubjpass", "aligned", "buffer"},
+		},
+		noSubj: []string{"Ensure"},
+	},
+	{
+		sentence: "Do not use mapped memory for large transfers.",
+		root:     "use",
+		rels: [][3]string{
+			{"aux", "use", "Do"},
+			{"neg", "use", "not"},
+			{"dobj", "use", "memory"},
+		},
+		noSubj: []string{"use"},
+	},
+	{
+		sentence: "Never call the blocking variant inside the loop.",
+		root:     "call",
+		rels: [][3]string{
+			{"advmod", "call", "Never"},
+			{"dobj", "call", "variant"},
+		},
+		noSubj: []string{"call"},
+	},
+	{
+		sentence: "Prefer using events for cross-queue ordering.",
+		root:     "Prefer",
+		rels: [][3]string{
+			{"xcomp", "Prefer", "using"},
+			{"dobj", "using", "events"},
+		},
+		noSubj: []string{"Prefer"},
+	},
+	{
+		sentence: "There are two ways to hide the latency.",
+		root:     "are",
+		rels: [][3]string{
+			{"nsubj", "are", "There"},
+			{"num", "ways", "two"},
+			{"xcomp", "are", "hide"},
+		},
+	},
+	{
+		sentence: "Because the bus is slow, transfers dominate; overlap them with kernels.",
+		root:     "dominate",
+		rels: [][3]string{
+			{"nsubj", "dominate", "transfers"},
+			{"conj", "dominate", "overlap"},
+			{"dobj", "overlap", "them"},
+		},
+		noSubj: []string{"overlap"},
+	},
+	{
+		sentence: "Shared memory, unlike global memory, resides on the chip.",
+		root:     "resides",
+		rels: [][3]string{
+			{"nsubj", "resides", "memory"},
+			{"pobj", "on", "chip"},
+		},
+	},
+	{
+		sentence: "The driver can batch the submissions to cut the launch overhead.",
+		root:     "batch",
+		rels: [][3]string{
+			{"nsubj", "batch", "driver"},
+			{"aux", "batch", "can"},
+			{"xcomp", "batch", "cut"},
+		},
+	},
+}
+
+func TestGoldenSuite(t *testing.T) {
+	for _, g := range goldenSuite {
+		tree := ParseText(g.sentence)
+		if g.root != "" {
+			root := tree.RootIndex()
+			if root < 0 || tree.Words[root] != g.root {
+				t.Errorf("%q: root %q, want %q\n%s", g.sentence, tree.Word(root), g.root, tree)
+				continue
+			}
+		}
+		for _, want := range g.rels {
+			found := false
+			for _, r := range tree.Relations {
+				if string(r.Type) == want[0] && tree.Word(r.Governor) == want[1] && tree.Word(r.Dependent) == want[2] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%q: missing %s(%s, %s)\n%s", g.sentence, want[0], want[1], want[2], tree)
+			}
+		}
+		for _, verb := range g.noSubj {
+			for i, w := range tree.Words {
+				if w == verb && tree.HasSubject(i) {
+					t.Errorf("%q: %q must have no subject\n%s", g.sentence, verb, tree)
+				}
+			}
+		}
+		if !checkTreeInvariants(tree) {
+			t.Errorf("%q: structural invariants violated\n%s", g.sentence, tree)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package depparse implements a deterministic, rule-based typed dependency
+// parser producing the Stanford-dependencies relation subset that Egeria's
+// selectors consume: root, nsubj, nsubjpass, xcomp, dobj, det, amod, nn,
+// aux, auxpass, cop, mark, advmod, prep, pobj, cc, conj, advcl, ccomp, neg,
+// num, acomp. It replaces the Stanford CoreNLP dependency parser used by the
+// original implementation. The parser is a chunk-then-attach design: noun
+// phrases and verb groups are chunked over POS tags, then clause structure
+// is assembled and relations emitted.
+package depparse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/postag"
+	"repro/internal/textproc"
+)
+
+// RelType names a typed dependency relation.
+type RelType string
+
+// The emitted relation inventory (Stanford dependencies naming).
+const (
+	Root      RelType = "root"
+	Nsubj     RelType = "nsubj"
+	Nsubjpass RelType = "nsubjpass"
+	Xcomp     RelType = "xcomp"
+	Dobj      RelType = "dobj"
+	Det       RelType = "det"
+	Amod      RelType = "amod"
+	Nn        RelType = "nn"
+	Aux       RelType = "aux"
+	Auxpass   RelType = "auxpass"
+	Cop       RelType = "cop"
+	Mark      RelType = "mark"
+	Advmod    RelType = "advmod"
+	Prep      RelType = "prep"
+	Pobj      RelType = "pobj"
+	Cc        RelType = "cc"
+	Conj      RelType = "conj"
+	Advcl     RelType = "advcl"
+	Ccomp     RelType = "ccomp"
+	Neg       RelType = "neg"
+	Num       RelType = "num"
+	Acomp     RelType = "acomp"
+	Poss      RelType = "poss"
+	Dep       RelType = "dep"
+)
+
+// Relation is one typed dependency edge. Governor == -1 denotes the virtual
+// ROOT node.
+type Relation struct {
+	Type      RelType
+	Governor  int
+	Dependent int
+}
+
+// Tree is the dependency analysis of one sentence.
+type Tree struct {
+	Words     []string
+	Tags      []postag.Tag
+	Relations []Relation
+	head      []int     // head token index per token; -1 root; -2 unattached
+	relOf     []RelType // relation to head per token
+}
+
+// ParseText tokenizes, tags and parses a single sentence.
+func ParseText(sentence string) *Tree {
+	words := textproc.Words(sentence)
+	return ParseWords(words)
+}
+
+// ParseWords tags and parses a pre-tokenized sentence.
+func ParseWords(words []string) *Tree {
+	return ParseTagged(words, postag.Tags(words))
+}
+
+// Word returns the token text at index i, or "ROOT" for -1.
+func (t *Tree) Word(i int) string {
+	if i < 0 {
+		return "ROOT"
+	}
+	return t.Words[i]
+}
+
+// Lemma returns the lemma of token i steered by its POS tag.
+func (t *Tree) Lemma(i int) string {
+	if i < 0 || i >= len(t.Words) {
+		return ""
+	}
+	switch {
+	case t.Tags[i].IsVerb():
+		return textproc.Lemma(t.Words[i], textproc.VerbClass)
+	case t.Tags[i].IsNoun():
+		return textproc.Lemma(t.Words[i], textproc.NounClass)
+	case t.Tags[i].IsAdjective():
+		return textproc.Lemma(t.Words[i], textproc.AdjClass)
+	}
+	return strings.ToLower(t.Words[i])
+}
+
+// RootIndex returns the token index of the root, or -1 when the sentence has
+// no tokens.
+func (t *Tree) RootIndex() int {
+	for _, r := range t.Relations {
+		if r.Type == Root {
+			return r.Dependent
+		}
+	}
+	return -1
+}
+
+// RelationsOfType returns all relations with the given type.
+func (t *Tree) RelationsOfType(rt RelType) []Relation {
+	var out []Relation
+	for _, r := range t.Relations {
+		if r.Type == rt {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HeadOf returns the head token index of token i (-1 for the root token).
+func (t *Tree) HeadOf(i int) int {
+	if i < 0 || i >= len(t.head) {
+		return -2
+	}
+	return t.head[i]
+}
+
+// RelationTo returns the relation type linking token i to its head.
+func (t *Tree) RelationTo(i int) RelType {
+	if i < 0 || i >= len(t.relOf) {
+		return Dep
+	}
+	return t.relOf[i]
+}
+
+// HasSubject reports whether token i governs an nsubj or nsubjpass relation.
+func (t *Tree) HasSubject(i int) bool {
+	for _, r := range t.Relations {
+		if (r.Type == Nsubj || r.Type == Nsubjpass) && r.Governor == i {
+			return true
+		}
+	}
+	return false
+}
+
+// SubjectsOf returns the dependents of nsubj/nsubjpass relations governed by
+// token i.
+func (t *Tree) SubjectsOf(i int) []int {
+	var out []int
+	for _, r := range t.Relations {
+		if (r.Type == Nsubj || r.Type == Nsubjpass) && r.Governor == i {
+			out = append(out, r.Dependent)
+		}
+	}
+	return out
+}
+
+// AllSubjects returns the dependents of every nsubj relation in the tree.
+func (t *Tree) AllSubjects() []int {
+	var out []int
+	for _, r := range t.Relations {
+		if r.Type == Nsubj {
+			out = append(out, r.Dependent)
+		}
+	}
+	return out
+}
+
+// ConjChainFromRoot returns the root token plus every token reachable from it
+// via conj relations (transitively). Used by the imperative selector to
+// consider coordinated clause heads ("..., so avoid ...").
+func (t *Tree) ConjChainFromRoot() []int {
+	root := t.RootIndex()
+	if root < 0 {
+		return nil
+	}
+	seen := map[int]bool{root: true}
+	queue := []int{root}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		for _, r := range t.Relations {
+			if r.Type == Conj && r.Governor == g && !seen[r.Dependent] {
+				seen[r.Dependent] = true
+				queue = append(queue, r.Dependent)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the relations in the conventional
+// reltype(governor-idx, dependent-idx) format, one per line.
+func (t *Tree) String() string {
+	var b strings.Builder
+	for _, r := range t.Relations {
+		fmt.Fprintf(&b, "%s(%s-%d, %s-%d)\n",
+			r.Type, t.Word(r.Governor), r.Governor+1, t.Word(r.Dependent), r.Dependent+1)
+	}
+	return b.String()
+}
+
+// HasRelation reports whether the tree contains a relation of the given type
+// whose governor's lemma equals govLemma ("*" matches any governor).
+func (t *Tree) HasRelation(rt RelType, govLemma string) bool {
+	for _, r := range t.Relations {
+		if r.Type != rt {
+			continue
+		}
+		if govLemma == "*" || t.Lemma(r.Governor) == govLemma {
+			return true
+		}
+	}
+	return false
+}

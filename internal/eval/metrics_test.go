@@ -1,0 +1,200 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScoreBasic(t *testing.T) {
+	pred := []bool{true, true, false, false, true}
+	truth := []bool{true, false, true, false, true}
+	p := Score(pred, truth)
+	if p.TP != 2 || p.FP != 1 || p.FN != 1 {
+		t.Fatalf("counts: %+v", p)
+	}
+	if !almost(p.Precision, 2.0/3) || !almost(p.Recall, 2.0/3) || !almost(p.F, 2.0/3) {
+		t.Errorf("metrics: %+v", p)
+	}
+}
+
+func TestScorePerfectAndEmpty(t *testing.T) {
+	p := Score([]bool{true, false}, []bool{true, false})
+	if p.Precision != 1 || p.Recall != 1 || p.F != 1 {
+		t.Errorf("perfect: %+v", p)
+	}
+	p = Score([]bool{false, false}, []bool{false, false})
+	if p.Precision != 0 || p.Recall != 0 || p.F != 0 {
+		t.Errorf("empty: %+v", p)
+	}
+}
+
+func TestScorePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	Score([]bool{true}, []bool{true, false})
+}
+
+func TestScoreSets(t *testing.T) {
+	p := ScoreSets([]int{1, 2, 3, 3}, []int{2, 3, 4})
+	// answers {1,2,3}: tp=2 (2,3), fp=1 (1), fn=1 (4)
+	if p.TP != 2 || p.FP != 1 || p.FN != 1 {
+		t.Errorf("%+v", p)
+	}
+	p = ScoreSets(nil, []int{1})
+	if p.Recall != 0 || p.Precision != 0 {
+		t.Errorf("empty answers: %+v", p)
+	}
+}
+
+// TestFleissKappaWikipediaExample uses the canonical worked example from
+// Fleiss (1971): 10 subjects, 14 raters, 5 categories; kappa = 0.210.
+func TestFleissKappaWikipediaExample(t *testing.T) {
+	ratings := [][]int{
+		{0, 0, 0, 0, 14},
+		{0, 2, 6, 4, 2},
+		{0, 0, 3, 5, 6},
+		{0, 3, 9, 2, 0},
+		{2, 2, 8, 1, 1},
+		{7, 7, 0, 0, 0},
+		{3, 2, 6, 3, 0},
+		{2, 5, 3, 2, 2},
+		{6, 5, 2, 1, 0},
+		{0, 2, 2, 3, 7},
+	}
+	kappa := FleissKappa(ratings)
+	if math.Abs(kappa-0.210) > 0.001 {
+		t.Errorf("kappa = %.4f, want 0.210", kappa)
+	}
+}
+
+func TestFleissKappaPerfectAgreement(t *testing.T) {
+	ratings := [][]int{{3, 0}, {0, 3}, {3, 0}}
+	if k := FleissKappa(ratings); !almost(k, 1) {
+		t.Errorf("kappa = %f, want 1", k)
+	}
+}
+
+func TestFleissKappaDegenerate(t *testing.T) {
+	if k := FleissKappa(nil); k != 1 {
+		t.Errorf("empty: %f", k)
+	}
+	// all raters always pick category 0: pe == 1, defined as 1
+	if k := FleissKappa([][]int{{3, 0}, {3, 0}}); k != 1 {
+		t.Errorf("single category: %f", k)
+	}
+}
+
+func TestFleissKappaBinary(t *testing.T) {
+	raters := [][]bool{
+		{true, false, true, false},
+		{true, false, true, false},
+		{true, false, false, false},
+	}
+	k := FleissKappaBinary(raters)
+	if k <= 0.5 || k > 1 {
+		t.Errorf("kappa = %f, want strong agreement", k)
+	}
+}
+
+// TestFleissKappaSimulatedRaters verifies the reproduction target: the
+// simulated expert raters over the generated ground truth must agree with
+// kappa > 0.8, as the paper reports for its human raters.
+func TestFleissKappaSimulatedRaters(t *testing.T) {
+	for _, reg := range []corpus.Register{corpus.CUDA, corpus.OpenCL, corpus.XeonPhi} {
+		g := corpus.Generate(reg, 1)
+		_, labels := g.EvalSentences()
+		raters := corpus.SimulateRaters(labels, 3, 42)
+		k := FleissKappaBinary(raters)
+		if k <= 0.8 {
+			t.Errorf("%v: kappa = %.3f, want > 0.8", reg, k)
+		}
+	}
+}
+
+func TestFromCountsZeroDivision(t *testing.T) {
+	p := FromCounts(0, 0, 0)
+	if p.Precision != 0 || p.Recall != 0 || p.F != 0 {
+		t.Errorf("%+v", p)
+	}
+}
+
+// Property: F is always between min(P,R) and max(P,R) (harmonic mean), and
+// all metrics are within [0,1].
+func TestPRFProperties(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		p := FromCounts(int(tp), int(fp), int(fn))
+		if p.Precision < 0 || p.Precision > 1 || p.Recall < 0 || p.Recall > 1 || p.F < 0 || p.F > 1 {
+			return false
+		}
+		lo, hi := p.Precision, p.Recall
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.F >= lo-1e-9 && p.F <= hi+1e-9 || (p.Precision == 0 && p.Recall == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: kappa is <= 1 for any well-formed matrix.
+func TestFleissKappaBounded(t *testing.T) {
+	f := func(seed []byte) bool {
+		if len(seed) < 4 {
+			return true
+		}
+		n := int(seed[0])%8 + 2
+		k := int(seed[1])%4 + 2
+		ratings := make([][]int, n)
+		si := 2
+		for i := range ratings {
+			row := make([]int, 3)
+			left := k
+			for c := 0; c < 2; c++ {
+				if si >= len(seed) {
+					break
+				}
+				take := int(seed[si]) % (left + 1)
+				row[c] = take
+				left -= take
+				si++
+			}
+			row[2] = left
+			ratings[i] = row
+		}
+		kappa := FleissKappa(ratings)
+		return kappa <= 1+1e-9 && !math.IsNaN(kappa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"Method", "P", "R"}}
+	tb.AddRow("Egeria", F3(0.814), F3(0.923))
+	tb.AddRow("KeywordAll", F3(0.486), F3(1.0))
+	s := tb.String()
+	if !strings.Contains(s, "Egeria") || !strings.Contains(s, "0.814") {
+		t.Errorf("table:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d:\n%s", len(lines), s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F3(0.5) != "0.500" || F2(1.25) != "1.25" {
+		t.Error("formatters")
+	}
+}

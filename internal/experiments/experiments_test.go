@@ -1,0 +1,387 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/selectors"
+)
+
+func TestTable3ReportExtraction(t *testing.T) {
+	out, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Register Usage") || !strings.Contains(out, "Divergent Branches") {
+		t.Errorf("Table 3 missing issues:\n%s", out)
+	}
+}
+
+func TestTable4QueryRetrieval(t *testing.T) {
+	g, adv := BuildAdvisor(corpus.CUDA)
+	out := Table4(g, adv)
+	if !strings.Contains(out, "reduce instruction and memory latency") {
+		t.Errorf("Table 4 header wrong:\n%s", out)
+	}
+	// the paper's answer covers latency-related advice; the retrieved rows
+	// must include the latency section of the guide
+	if !strings.Contains(out, "Multiprocessor Level") {
+		t.Errorf("Table 4 should retrieve from the latency section:\n%s", out)
+	}
+}
+
+func TestTable5UserStudyShape(t *testing.T) {
+	_, adv := BuildAdvisor(corpus.CUDA)
+	res, out, err := Table5(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Egeria780.Average <= res.Control780.Average ||
+		res.Egeria480.Average <= res.Control480.Average {
+		t.Errorf("Table 5 ordering broken:\n%s", out)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	g, adv := BuildAdvisor(corpus.CUDA)
+	rows := Table6(g, adv)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	wantGT := []int{6, 2, 7, 8, 11, 18}
+	var egeriaBeatsFullDoc, egeriaBeatsKeywords int
+	for i, r := range rows {
+		if r.GroundTruth != wantGT[i] {
+			t.Errorf("row %d ground truth %d, want %d", i, r.GroundTruth, wantGT[i])
+		}
+		// Egeria's recall must stay high (paper: 0.83-1.0)
+		if r.Egeria.Recall < 0.6 {
+			t.Errorf("row %q: Egeria recall %.3f too low", r.Issue, r.Egeria.Recall)
+		}
+		// full-doc finds everything Egeria finds (it is a superset), so its
+		// recall is >= Egeria's, but precision collapses
+		if r.FullDoc.Recall < r.Egeria.Recall-1e-9 {
+			t.Errorf("row %q: full-doc recall %.3f < Egeria %.3f", r.Issue, r.FullDoc.Recall, r.Egeria.Recall)
+		}
+		if r.Egeria.F > r.FullDoc.F {
+			egeriaBeatsFullDoc++
+		}
+		if r.Egeria.F > r.Keywords.F {
+			egeriaBeatsKeywords++
+		}
+	}
+	// the paper's central Table 6 claim: Egeria wins on F across the board
+	if egeriaBeatsFullDoc < 5 {
+		t.Errorf("Egeria beats full-doc on only %d/6 issues", egeriaBeatsFullDoc)
+	}
+	if egeriaBeatsKeywords < 5 {
+		t.Errorf("Egeria beats keywords on only %d/6 issues", egeriaBeatsKeywords)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	rows := Table7()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	wantSentences := []int{2140, 1944, 558}
+	for i, r := range rows {
+		if r.Sentences != wantSentences[i] {
+			t.Errorf("%s: %d sentences, want %d", r.Guide, r.Sentences, wantSentences[i])
+		}
+		// compression in the paper's band (ratios 4.4-7.8)
+		if r.Ratio < 3 || r.Ratio > 10 {
+			t.Errorf("%s: ratio %.1f outside [3, 10]", r.Guide, r.Ratio)
+		}
+		if r.Selected >= r.Sentences || r.Selected == 0 {
+			t.Errorf("%s: selected %d of %d", r.Guide, r.Selected, r.Sentences)
+		}
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	for _, reg := range []corpus.Register{corpus.CUDA, corpus.OpenCL, corpus.XeonPhi} {
+		rows := Table8(reg, selectors.DefaultConfig())
+		if len(rows) != 7 {
+			t.Fatalf("%s: %d rows, want 7", reg, len(rows))
+		}
+		byName := map[string]Table8Row{}
+		for _, r := range rows {
+			byName[r.Method] = r
+		}
+		egeria := byName["Egeria"]
+		// Egeria must beat every single selector and KeywordAll on F
+		for _, name := range []string{"Keyword", "Comparative", "Imperative", "Subject", "Purpose", "KeywordAll"} {
+			if byName[name].PRF.F >= egeria.PRF.F {
+				t.Errorf("%s: %s F %.3f >= Egeria F %.3f", reg, name, byName[name].PRF.F, egeria.PRF.F)
+			}
+		}
+		// paper bands: Egeria F 0.79-0.87, precision > 0.8-ish
+		if egeria.PRF.F < 0.70 || egeria.PRF.F > 0.97 {
+			t.Errorf("%s: Egeria F %.3f outside [0.70, 0.97]", reg, egeria.PRF.F)
+		}
+		if egeria.PRF.Precision < 0.72 {
+			t.Errorf("%s: Egeria precision %.3f too low", reg, egeria.PRF.Precision)
+		}
+		// KeywordAll: near-total recall, poor precision (paper: R>=0.8, P<0.5)
+		ka := byName["KeywordAll"]
+		if ka.PRF.Recall < 0.75 {
+			t.Errorf("%s: KeywordAll recall %.3f too low", reg, ka.PRF.Recall)
+		}
+		if ka.PRF.Precision >= egeria.PRF.Precision {
+			t.Errorf("%s: KeywordAll precision %.3f >= Egeria %.3f", reg, ka.PRF.Precision, egeria.PRF.Precision)
+		}
+	}
+}
+
+func TestTable8RecallOrdering(t *testing.T) {
+	// paper: recall 0.92 (CUDA) > 0.80 (OpenCL) > 0.71 (Xeon)
+	recall := func(reg corpus.Register) float64 {
+		for _, r := range Table8(reg, selectors.DefaultConfig()) {
+			if r.Method == "Egeria" {
+				return r.PRF.Recall
+			}
+		}
+		return 0
+	}
+	c, o, x := recall(corpus.CUDA), recall(corpus.OpenCL), recall(corpus.XeonPhi)
+	if !(c > o && o > x) {
+		t.Errorf("recall ordering: CUDA %.3f, OpenCL %.3f, Xeon %.3f", c, o, x)
+	}
+}
+
+func TestXeonTuningImprovesRecall(t *testing.T) {
+	// §4.3: adding 'have to be', 'user', 'one' raises Xeon recall toward
+	// 0.892 without wrecking precision.
+	get := func(cfg selectors.Config) Table8Row {
+		for _, r := range Table8(corpus.XeonPhi, cfg) {
+			if r.Method == "Egeria" {
+				return r
+			}
+		}
+		return Table8Row{}
+	}
+	base := get(selectors.DefaultConfig())
+	tuned := get(selectors.XeonTunedConfig())
+	if tuned.PRF.Recall <= base.PRF.Recall {
+		t.Errorf("tuning did not raise recall: %.3f -> %.3f", base.PRF.Recall, tuned.PRF.Recall)
+	}
+	if tuned.PRF.Precision < base.PRF.Precision-0.12 {
+		t.Errorf("tuning wrecked precision: %.3f -> %.3f", base.PRF.Precision, tuned.PRF.Precision)
+	}
+}
+
+func TestTable8SummarizerBaseline(t *testing.T) {
+	rows := Table8WithSummarizer(corpus.CUDA, selectors.DefaultConfig())
+	var egeria, textrank Table8Row
+	for _, r := range rows {
+		switch r.Method {
+		case "Egeria":
+			egeria = r
+		case "TextRank (same budget)":
+			textrank = r
+		}
+	}
+	if textrank.Method == "" {
+		t.Fatal("no TextRank row")
+	}
+	if textrank.Selected != egeria.Selected {
+		t.Errorf("budget mismatch: TextRank %d vs Egeria %d", textrank.Selected, egeria.Selected)
+	}
+	// the paper's argument: informative != advising; the summarizer must
+	// lose clearly to Egeria at the same selection budget
+	if textrank.PRF.F >= egeria.PRF.F-0.1 {
+		t.Errorf("TextRank F %.3f too close to Egeria %.3f — the summarization contrast failed",
+			textrank.PRF.F, egeria.PRF.F)
+	}
+}
+
+func TestTable8LeaveOneOut(t *testing.T) {
+	rows := Table8LeaveOneOut(corpus.CUDA, selectors.DefaultConfig())
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	full := rows[0]
+	if full.Method != "Egeria (all 5)" {
+		t.Fatalf("first row %q", full.Method)
+	}
+	droppedSomething := false
+	for _, r := range rows[1:] {
+		// removing a selector can only lose recall, never gain it
+		if r.PRF.Recall > full.PRF.Recall+1e-9 {
+			t.Errorf("%s: recall %.3f exceeds full %.3f", r.Method, r.PRF.Recall, full.PRF.Recall)
+		}
+		if r.PRF.Recall < full.PRF.Recall-1e-9 {
+			droppedSomething = true
+		}
+	}
+	if !droppedSomething {
+		t.Error("no selector contributes unique recall; the multi-layer design would be pointless")
+	}
+}
+
+func TestTable8EgeriaEqualsSelectorUnion(t *testing.T) {
+	// the Egeria row must equal the recognizer's own classification
+	// (Classify is exactly the ordered union of the five selectors)
+	g := corpus.Generate(corpus.XeonPhi, Seed)
+	texts, labels := g.EvalSentences()
+	rec := selectors.Default()
+	rows := Table8(corpus.XeonPhi, selectors.DefaultConfig())
+	var egeria Table8Row
+	for _, r := range rows {
+		if r.Method == "Egeria" {
+			egeria = r
+		}
+	}
+	sel := 0
+	for i, s := range texts {
+		if rec.Classify(s).Advising {
+			sel++
+		}
+		_ = i
+	}
+	_ = labels
+	if sel != egeria.Selected {
+		t.Errorf("union selected %d but Classify selects %d", egeria.Selected, sel)
+	}
+}
+
+func TestCategoryAttribution(t *testing.T) {
+	rows := CategoryAttribution(corpus.CUDA, selectors.DefaultConfig())
+	byCat := map[corpus.Category]AttributionRow{}
+	total := 0
+	for _, r := range rows {
+		byCat[r.Category] = r
+		total += r.Total
+	}
+	if total != 52 {
+		t.Fatalf("total advising %d, want 52", total)
+	}
+	// each designated category is caught predominantly by its own selector
+	checks := []struct {
+		cat corpus.Category
+		sel int // 0-based
+	}{
+		{corpus.CatKeyword, 0},
+		{corpus.CatComparative, 1},
+		{corpus.CatPassive, 1},
+		{corpus.CatImperative, 2},
+		{corpus.CatSubject, 3},
+		{corpus.CatPurpose, 4},
+	}
+	for _, c := range checks {
+		r := byCat[c.cat]
+		if r.Total == 0 {
+			t.Errorf("category %v empty", c.cat)
+			continue
+		}
+		caught := r.BySelector[c.sel]
+		if float64(caught)/float64(r.Total) < 0.7 {
+			t.Errorf("category %v: designated selector %d catches only %d/%d",
+				c.cat, c.sel+1, caught, r.Total)
+		}
+	}
+	// hard sentences are missed by (nearly) all selectors
+	hard := byCat[corpus.CatHard]
+	if hard.Total > 0 && float64(hard.Missed)/float64(hard.Total) < 0.8 {
+		t.Errorf("hard category: only %d/%d missed", hard.Missed, hard.Total)
+	}
+	if s := FormatAttribution(corpus.CUDA, rows); !strings.Contains(s, "VI purpose") {
+		t.Error("format broken")
+	}
+}
+
+func TestKappasAboveThreshold(t *testing.T) {
+	for guide, k := range Kappas() {
+		if k <= 0.8 {
+			t.Errorf("%s: kappa %.3f <= 0.8", guide, k)
+		}
+	}
+}
+
+func TestRetrievalAblation(t *testing.T) {
+	g, adv := BuildAdvisor(corpus.CUDA)
+	rows := RetrievalAblation(g, adv)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// both rankers must be usable; neither collapses
+		if r.TFIDF.F == 0 && r.BM25.F == 0 {
+			t.Errorf("%s: both rankers scored zero", r.Issue)
+		}
+		// at equal budget the two rankers should stay in the same ballpark:
+		// the paper's TF-IDF choice is adequate, not magic
+		if r.BM25.F < r.TFIDF.F-0.35 || r.TFIDF.F < r.BM25.F-0.35 {
+			t.Errorf("%s: rankers diverge implausibly: tfidf %.3f bm25 %.3f", r.Issue, r.TFIDF.F, r.BM25.F)
+		}
+	}
+	if s := FormatRetrievalAblation(rows); !strings.Contains(s, "BM25") {
+		t.Error("format broken")
+	}
+}
+
+func TestThresholdSweepMonotoneRecall(t *testing.T) {
+	g, adv := BuildAdvisor(corpus.CUDA)
+	points := ThresholdSweep(g, adv, []float64{0.05, 0.15, 0.30})
+	if len(points) != 3 {
+		t.Fatal("points")
+	}
+	// recall never increases as the threshold rises
+	for i := 1; i < len(points); i++ {
+		if points[i].MacroR > points[i-1].MacroR+1e-9 {
+			t.Errorf("recall rose with threshold: %+v", points)
+		}
+	}
+}
+
+// TestHTMLPathEquivalence exercises the production path end to end: the
+// guide rendered to HTML, loaded through the document loader, and advised —
+// Stage I must select exactly the same sentences as the direct path.
+func TestHTMLPathEquivalence(t *testing.T) {
+	g := corpus.GenerateSized(corpus.CUDA, 250, 0.25, 41)
+	direct := core.New().BuildFromSentences(g.Doc, g.Sentences)
+	viaHTML := core.New().BuildFromHTML(g.RenderHTML())
+
+	if direct.SentenceCount() != viaHTML.SentenceCount() {
+		t.Fatalf("sentence counts: %d vs %d", direct.SentenceCount(), viaHTML.SentenceCount())
+	}
+	dr, hr := direct.Rules(), viaHTML.Rules()
+	if len(dr) != len(hr) {
+		t.Fatalf("rule counts: %d vs %d", len(dr), len(hr))
+	}
+	for i := range dr {
+		if dr[i].Text != hr[i].Text || dr[i].Selector != hr[i].Selector {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, dr[i], hr[i])
+		}
+	}
+	// answers agree as well
+	q := "minimize divergent warps in the control flow"
+	da, ha := direct.Query(q), viaHTML.Query(q)
+	if len(da) != len(ha) {
+		t.Fatalf("answers: %d vs %d", len(da), len(ha))
+	}
+	for i := range da {
+		if da[i].Sentence.Text != ha[i].Sentence.Text {
+			t.Errorf("answer %d differs", i)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	g, adv := BuildAdvisor(corpus.CUDA)
+	if s := FormatTable6(Table6(g, adv)); !strings.Contains(s, "Egeria") {
+		t.Error("table 6 format")
+	}
+	if s := FormatTable7(Table7()); !strings.Contains(s, "CUDA Guide") {
+		t.Error("table 7 format")
+	}
+	if s := FormatTable8(corpus.CUDA, Table8(corpus.CUDA, selectors.DefaultConfig())); !strings.Contains(s, "KeywordAll") {
+		t.Error("table 8 format")
+	}
+	if s := FormatThresholdSweep(ThresholdSweep(g, adv, []float64{0.15})); !strings.Contains(s, "0.15") {
+		t.Error("sweep format")
+	}
+}

@@ -1,0 +1,187 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allOpts() []Optimization {
+	return []Optimization{
+		RemoveDivergence, CoalesceAccesses, TuneOccupancy,
+		UnrollLoop, StageShared, PinTransfers,
+	}
+}
+
+func TestFullOptimizationSpeedupBands(t *testing.T) {
+	// The paper's Table 5 shape: applying the full optimization set yields
+	// a larger speedup on the GTX 780 than on the GTX 480, with magnitudes
+	// in the mid-single digits.
+	base := NormKernel()
+	opt := Apply(base, allOpts()...)
+	s780 := Speedup(base, opt, GTX780())
+	s480 := Speedup(base, opt, GTX480())
+	if s780 <= s480 {
+		t.Errorf("speedup ordering: 780 %.2f <= 480 %.2f", s780, s480)
+	}
+	if s780 < 5 || s780 > 11 {
+		t.Errorf("780 full speedup %.2f outside [5, 11]", s780)
+	}
+	if s480 < 3 || s480 > 8 {
+		t.Errorf("480 full speedup %.2f outside [3, 8]", s480)
+	}
+}
+
+func TestFigure5DivergenceOptimization(t *testing.T) {
+	// Fig. 5: removing the if-else divergence alone gives a real speedup.
+	base := NormKernel()
+	opt := Apply(base, RemoveDivergence)
+	for _, d := range []Device{GTX780(), GTX480()} {
+		s := Speedup(base, opt, d)
+		if s < 1.05 {
+			t.Errorf("%s: divergence removal speedup %.3f too small", d.Name, s)
+		}
+		if s > 2.5 {
+			t.Errorf("%s: divergence removal speedup %.3f implausibly large", d.Name, s)
+		}
+	}
+}
+
+func TestEachOptimizationNeverSlows(t *testing.T) {
+	base := NormKernel()
+	for _, d := range []Device{GTX780(), GTX480()} {
+		bt := base.TimeOn(d)
+		for _, o := range allOpts() {
+			ot := Apply(base, o).TimeOn(d)
+			if ot > bt*1.0001 {
+				t.Errorf("%s on %s slowed the kernel: %.6f -> %.6f", o, d.Name, bt, ot)
+			}
+		}
+	}
+}
+
+// Property: applying any subset of optimizations never slows the kernel, on
+// either device (monotonicity of the model).
+func TestOptimizationSubsetsMonotone(t *testing.T) {
+	base := NormKernel()
+	devices := []Device{GTX780(), GTX480()}
+	f := func(mask uint8) bool {
+		var opts []Optimization
+		for i := 0; i < NumOptimizations; i++ {
+			if mask&(1<<i) != 0 {
+				opts = append(opts, Optimization(i))
+			}
+		}
+		k := Apply(base, opts...)
+		for _, d := range devices {
+			if k.TimeOn(d) > base.TimeOn(d)*1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding one more optimization to a subset never hurts.
+func TestAddingOptimizationMonotone(t *testing.T) {
+	base := NormKernel()
+	d := GTX780()
+	f := func(mask uint8, extra uint8) bool {
+		var opts []Optimization
+		for i := 0; i < NumOptimizations; i++ {
+			if mask&(1<<i) != 0 {
+				opts = append(opts, Optimization(i))
+			}
+		}
+		with := append(append([]Optimization{}, opts...), Optimization(int(extra)%NumOptimizations))
+		return Apply(base, with...).TimeOn(d) <= Apply(base, opts...).TimeOn(d)*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyIdempotentAndOrderIndependent(t *testing.T) {
+	base := NormKernel()
+	a := Apply(base, RemoveDivergence, StageShared, UnrollLoop)
+	b := Apply(base, UnrollLoop, RemoveDivergence, StageShared)
+	c := Apply(base, RemoveDivergence, RemoveDivergence, StageShared, UnrollLoop, UnrollLoop)
+	if a != b || a != c {
+		t.Errorf("apply not canonical: %+v vs %+v vs %+v", a, b, c)
+	}
+}
+
+func TestOccupancyBehaviour(t *testing.T) {
+	d := GTX780()
+	base := NormKernel()
+	occBase := base.Occupancy(d)
+	tuned := Apply(base, TuneOccupancy)
+	occTuned := tuned.Occupancy(d)
+	if occTuned <= occBase {
+		t.Errorf("occupancy did not improve: %.3f -> %.3f", occBase, occTuned)
+	}
+	if occBase <= 0 || occBase > 1 || occTuned > 1 {
+		t.Errorf("occupancy out of range: %.3f, %.3f", occBase, occTuned)
+	}
+	var zero Kernel
+	if zero.Occupancy(d) != 0 {
+		t.Error("zero kernel occupancy")
+	}
+}
+
+func TestSharedMemoryLimitsOccupancy(t *testing.T) {
+	d := GTX780()
+	k := NormKernel()
+	k.BlockSize = 256
+	k.SharedPerBlock = d.SharedPerSM // one block per SM at most
+	occ := k.Occupancy(d)
+	if occ > float64(256/32)/float64(d.MaxWarpsPerSM)+1e-9 {
+		t.Errorf("shared memory should cap occupancy, got %.3f", occ)
+	}
+}
+
+func TestPinnedTransfersFaster(t *testing.T) {
+	d := GTX480()
+	base := NormKernel()
+	pinned := Apply(base, PinTransfers)
+	if pinned.TransferTime(d) >= base.TransferTime(d) {
+		t.Error("pinned transfers not faster")
+	}
+	none := base
+	none.HostBytes = 0
+	if none.TransferTime(d) != 0 {
+		t.Error("zero transfer bytes should cost nothing")
+	}
+}
+
+func TestZeroKernel(t *testing.T) {
+	var k Kernel
+	if k.TimeOn(GTX780()) != 0 {
+		t.Error("empty kernel should take zero time")
+	}
+	if s := Speedup(k, k, GTX780()); s != 1 {
+		t.Errorf("degenerate speedup = %f", s)
+	}
+}
+
+func TestOptimizationStrings(t *testing.T) {
+	for i := 0; i < NumOptimizations; i++ {
+		if Optimization(i).String() == "unknown" {
+			t.Errorf("optimization %d unnamed", i)
+		}
+	}
+	if Optimization(99).String() != "unknown" {
+		t.Error("unknown optimization")
+	}
+}
+
+func BenchmarkTimeOn(b *testing.B) {
+	k := NormKernel()
+	d := GTX780()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.TimeOn(d)
+	}
+}

@@ -1,0 +1,62 @@
+package gpusim
+
+import "testing"
+
+func TestOptVariantsAreFaster(t *testing.T) {
+	cases := []struct{ base, opt Kernel }{
+		{KNNJoinKernel(), KNNJoinOptKernel()},
+		{TransKernel(), TransOptKernel()},
+	}
+	for _, c := range cases {
+		for _, d := range []Device{GTX780(), GTX480()} {
+			s := Speedup(c.base, c.opt, d)
+			if s <= 1.1 {
+				t.Errorf("%s -> %s on %s: speedup %.2f too small", c.base.Name, c.opt.Name, d.Name, s)
+			}
+			if s > 20 {
+				t.Errorf("%s -> %s on %s: speedup %.2f implausible", c.base.Name, c.opt.Name, d.Name, s)
+			}
+		}
+	}
+}
+
+func TestKNNJoinIsDivergenceBound(t *testing.T) {
+	// removing only the divergence must recover most of the gap to the
+	// optimized variant — that is the paper's characterization of knnjoin
+	base := KNNJoinKernel()
+	opt := KNNJoinOptKernel()
+	d := GTX780()
+	full := Speedup(base, opt, d)
+	divOnly := base
+	divOnly.DivergenceFactor = opt.DivergenceFactor
+	viaDiv := Speedup(base, divOnly, d)
+	if viaDiv < full*0.95 {
+		t.Errorf("divergence fix recovers only %.2f of %.2f", viaDiv, full)
+	}
+}
+
+func TestTransIsCoalescingBound(t *testing.T) {
+	base := TransKernel()
+	d := GTX780()
+	coalesced := base
+	coalesced.CoalesceWaste = 1.3
+	if s := Speedup(base, coalesced, d); s < 1.5 {
+		t.Errorf("coalescing fix speedup %.2f too small for a transpose", s)
+	}
+}
+
+func TestBenchmarkKernelsComplete(t *testing.T) {
+	ks := BenchmarkKernels()
+	for _, name := range []string{"knnjoin", "knnjoin_opt", "trans", "trans_opt"} {
+		k, ok := ks[name]
+		if !ok {
+			t.Fatalf("missing kernel %s", name)
+		}
+		if k.Name != name {
+			t.Errorf("kernel %s misnamed %q", name, k.Name)
+		}
+		if k.TimeOn(GTX780()) <= 0 {
+			t.Errorf("kernel %s has no modeled time", name)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package htmldoc
+
+import "strings"
+
+// ParseMarkdown loads a Markdown guide: ATX headings (#, ##, ...) open
+// sections (with optional leading section numbers, as in HTML), blank lines
+// separate paragraph blocks, fenced code blocks are dropped, and list items
+// become blocks of their own. The artifact notes raw documents "can be in
+// various formats (e.g., txt, pdf, HTML, JSON)"; Markdown is the common one
+// for modern vendor documentation.
+func ParseMarkdown(text string) *Document {
+	doc := &Document{}
+	var cur strings.Builder
+	inFence := false
+
+	flush := func() {
+		block := normalizeSpace(cur.String())
+		cur.Reset()
+		if block == "" {
+			return
+		}
+		if len(doc.Sections) == 0 {
+			doc.Sections = append(doc.Sections, Section{Title: "Preamble", Level: 1})
+		}
+		s := &doc.Sections[len(doc.Sections)-1]
+		s.Blocks = append(s.Blocks, block)
+	}
+
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			flush()
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(trimmed, "#"):
+			flush()
+			level := 0
+			for level < len(trimmed) && trimmed[level] == '#' {
+				level++
+			}
+			title := strings.TrimSpace(strings.Trim(trimmed[level:], "#"))
+			if doc.Title == "" && level == 1 && len(doc.Sections) == 0 {
+				doc.Title = stripMarkdownInline(title)
+				continue
+			}
+			num := ""
+			title = stripMarkdownInline(title)
+			if m := sectionNumberRe.FindStringSubmatch(title); m != nil {
+				num = m[1]
+				title = strings.TrimSpace(title[len(m[0]):])
+			}
+			if level > 6 {
+				level = 6
+			}
+			doc.Sections = append(doc.Sections, Section{Number: num, Title: title, Level: level})
+		case trimmed == "":
+			flush()
+		case strings.HasPrefix(trimmed, "- ") || strings.HasPrefix(trimmed, "* ") ||
+			strings.HasPrefix(trimmed, "+ "):
+			flush()
+			cur.WriteString(stripMarkdownInline(trimmed[2:]))
+			flush()
+		default:
+			if cur.Len() > 0 {
+				cur.WriteByte(' ')
+			}
+			cur.WriteString(stripMarkdownInline(trimmed))
+		}
+	}
+	flush()
+	return doc
+}
+
+// ParsePlainText loads a plain-text guide: a line that looks like a numbered
+// heading ("5.4.2 Control Flow" — a section number followed by a short
+// title, no terminal period) opens a section; blank lines separate blocks.
+func ParsePlainText(text string) *Document {
+	doc := &Document{}
+	var cur strings.Builder
+
+	flush := func() {
+		block := normalizeSpace(cur.String())
+		cur.Reset()
+		if block == "" {
+			return
+		}
+		if len(doc.Sections) == 0 {
+			doc.Sections = append(doc.Sections, Section{Title: "Preamble", Level: 1})
+		}
+		s := &doc.Sections[len(doc.Sections)-1]
+		s.Blocks = append(s.Blocks, block)
+	}
+
+	for _, raw := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(raw)
+		switch {
+		case trimmed == "":
+			flush()
+		case looksLikeHeadingLine(trimmed):
+			flush()
+			m := sectionNumberRe.FindStringSubmatch(trimmed)
+			num := m[1]
+			title := strings.TrimSpace(trimmed[len(m[0]):])
+			doc.Sections = append(doc.Sections, Section{
+				Number: num,
+				Title:  title,
+				Level:  strings.Count(num, ".") + 1,
+			})
+		default:
+			if cur.Len() > 0 {
+				cur.WriteByte(' ')
+			}
+			cur.WriteString(trimmed)
+		}
+	}
+	flush()
+	return doc
+}
+
+// looksLikeHeadingLine: "5.4.2 Control Flow Instructions" — numbered, short,
+// no sentence-final period.
+func looksLikeHeadingLine(line string) bool {
+	m := sectionNumberRe.FindStringSubmatch(line)
+	if m == nil {
+		return false
+	}
+	rest := strings.TrimSpace(line[len(m[0]):])
+	if rest == "" || len(rest) > 60 {
+		return false
+	}
+	return !strings.HasSuffix(rest, ".")
+}
+
+// stripMarkdownInline removes emphasis markers and inline code/link syntax.
+func stripMarkdownInline(s string) string {
+	r := strings.NewReplacer("**", "", "__", "", "`", "")
+	s = r.Replace(s)
+	// [text](url) -> text
+	for {
+		open := strings.IndexByte(s, '[')
+		if open < 0 {
+			break
+		}
+		close := strings.IndexByte(s[open:], ']')
+		if close < 0 {
+			break
+		}
+		close += open
+		if close+1 < len(s) && s[close+1] == '(' {
+			end := strings.IndexByte(s[close:], ')')
+			if end < 0 {
+				break
+			}
+			s = s[:open] + s[open+1:close] + s[close+end+1:]
+			continue
+		}
+		s = s[:open] + s[open+1:close] + s[close+1:]
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package htmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+const mdGuide = "# CUDA Tuning Notes\n" +
+	"\n" +
+	"Preface paragraph before any section.\n" +
+	"\n" +
+	"## 1. Memory\n" +
+	"\n" +
+	"Use **shared memory** to stage reused tiles. Avoid bank\n" +
+	"conflicts by padding the array.\n" +
+	"\n" +
+	"- Align the base pointer to the `transaction` size.\n" +
+	"- Batch small transfers into one.\n" +
+	"\n" +
+	"```\n" +
+	"__global__ void k() { /* dropped */ }\n" +
+	"```\n" +
+	"\n" +
+	"### 1.1. Caches\n" +
+	"\n" +
+	"A cache hit avoids a trip to [device memory](https://example.com).\n"
+
+func TestParseMarkdownStructure(t *testing.T) {
+	doc := ParseMarkdown(mdGuide)
+	if doc.Title != "CUDA Tuning Notes" {
+		t.Errorf("title %q", doc.Title)
+	}
+	if len(doc.Sections) != 3 { // Preamble, 1. Memory, 1.1. Caches
+		t.Fatalf("sections: %+v", doc.Sections)
+	}
+	if doc.Sections[0].Title != "Preamble" {
+		t.Errorf("first section %+v", doc.Sections[0])
+	}
+	mem := doc.SectionByNumber("1")
+	if mem == nil || mem.Title != "Memory" || mem.Level != 2 {
+		t.Fatalf("memory section: %+v", mem)
+	}
+	caches := doc.SectionByNumber("1.1")
+	if caches == nil || caches.Level != 3 {
+		t.Fatalf("caches section: %+v", caches)
+	}
+}
+
+func TestParseMarkdownContent(t *testing.T) {
+	doc := ParseMarkdown(mdGuide)
+	all := strings.Join(flattenBlocks(doc), "|")
+	if strings.Contains(all, "**") || strings.Contains(all, "`") {
+		t.Errorf("inline markers leaked: %q", all)
+	}
+	if strings.Contains(all, "__global__") {
+		t.Error("fenced code leaked")
+	}
+	if !strings.Contains(all, "Align the base pointer to the transaction size.") {
+		t.Errorf("list item missing: %q", all)
+	}
+	if !strings.Contains(all, "device memory") || strings.Contains(all, "example.com") {
+		t.Errorf("link not unwrapped: %q", all)
+	}
+	// multi-line paragraph joined
+	if !strings.Contains(all, "Avoid bank conflicts by padding the array.") {
+		t.Errorf("wrapped paragraph not joined: %q", all)
+	}
+}
+
+func TestParseMarkdownAdvisorPath(t *testing.T) {
+	// sentences extracted from markdown feed the pipeline like HTML ones
+	doc := ParseMarkdown(mdGuide)
+	sents := doc.Sentences()
+	if len(sents) < 5 {
+		t.Fatalf("only %d sentences", len(sents))
+	}
+}
+
+func TestParsePlainText(t *testing.T) {
+	text := `1 Vectorization
+
+Align the data on sixty-four byte boundaries. The compiler reports
+which loops vectorized.
+
+1.1 Remainder Loops
+
+Pad the arrays to a full vector width.`
+	doc := ParsePlainText(text)
+	if len(doc.Sections) != 2 {
+		t.Fatalf("sections: %+v", doc.Sections)
+	}
+	if doc.Sections[0].Number != "1" || doc.Sections[1].Number != "1.1" {
+		t.Errorf("numbers: %+v", doc.Sections)
+	}
+	if doc.Sections[1].Level != 2 {
+		t.Errorf("level: %+v", doc.Sections[1])
+	}
+	if len(doc.Sections[0].Blocks) != 1 {
+		t.Errorf("blocks: %+v", doc.Sections[0].Blocks)
+	}
+}
+
+func TestParsePlainTextHeadingHeuristics(t *testing.T) {
+	// a numbered sentence is NOT a heading (ends with a period)
+	doc := ParsePlainText("1 This is a full sentence that ends with a period.\n\nBody text here.")
+	if len(doc.Sections) != 1 || doc.Sections[0].Title != "Preamble" {
+		t.Errorf("sections: %+v", doc.Sections)
+	}
+}
+
+func TestMarkdownDegenerate(t *testing.T) {
+	for _, s := range []string{"", "#", "# ", "```", "```\nunterminated", "- ", "[broken](link"} {
+		doc := ParseMarkdown(s)
+		_ = doc.Sentences()
+	}
+	for _, s := range []string{"", "1 ", "   \n\n  "} {
+		doc := ParsePlainText(s)
+		_ = doc.Sentences()
+	}
+}
+
+func flattenBlocks(d *Document) []string {
+	var out []string
+	for _, s := range d.Sections {
+		out = append(out, s.Blocks...)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+// Package htmldoc implements the document loader of the Egeria framework:
+// a small HTML tokenizer plus structure inference that converts a vendor
+// programming guide (HTML) into a sequence of text blocks organized by
+// chapter/section, mirroring the loader described in the paper (§3.2: "the
+// loader extracts out all the contained sentences, and at the same time,
+// infers the document structure (e.g., chapter, section, etc.) based on the
+// indices or the HTML header tags").
+package htmldoc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// tokenKind discriminates tokenizer output.
+type tokenKind int
+
+const (
+	textToken tokenKind = iota
+	startTagToken
+	endTagToken
+	selfClosingToken
+)
+
+// token is one HTML lexical unit.
+type token struct {
+	kind tokenKind
+	name string // tag name, lowercase (tags only)
+	text string // raw text (text tokens only)
+	attr map[string]string
+}
+
+// tokenize lexes HTML into tokens, skipping comments, doctypes, and the
+// contents of script/style elements.
+func tokenize(html string) []token {
+	var out []token
+	i := 0
+	n := len(html)
+	for i < n {
+		if html[i] != '<' {
+			j := strings.IndexByte(html[i:], '<')
+			if j < 0 {
+				j = n - i
+			}
+			out = append(out, token{kind: textToken, text: html[i : i+j]})
+			i += j
+			continue
+		}
+		// comment
+		if strings.HasPrefix(html[i:], "<!--") {
+			end := strings.Index(html[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		// doctype / processing instruction
+		if i+1 < n && (html[i+1] == '!' || html[i+1] == '?') {
+			end := strings.IndexByte(html[i:], '>')
+			if end < 0 {
+				break
+			}
+			i += end + 1
+			continue
+		}
+		end := strings.IndexByte(html[i:], '>')
+		if end < 0 {
+			break
+		}
+		raw := html[i+1 : i+end]
+		i += end + 1
+		isEnd := strings.HasPrefix(raw, "/")
+		raw = strings.TrimPrefix(raw, "/")
+		selfClosing := strings.HasSuffix(raw, "/")
+		raw = strings.TrimSuffix(raw, "/")
+		name, attrs := parseTag(raw)
+		if name == "" {
+			continue
+		}
+		switch {
+		case isEnd:
+			out = append(out, token{kind: endTagToken, name: name})
+		case selfClosing:
+			out = append(out, token{kind: selfClosingToken, name: name, attr: attrs})
+		default:
+			out = append(out, token{kind: startTagToken, name: name, attr: attrs})
+			// raw-text elements: skip to the matching close tag
+			if name == "script" || name == "style" {
+				closer := "</" + name
+				idx := strings.Index(strings.ToLower(html[i:]), closer)
+				if idx < 0 {
+					i = n
+					break
+				}
+				i += idx
+				gt := strings.IndexByte(html[i:], '>')
+				if gt < 0 {
+					i = n
+					break
+				}
+				i += gt + 1
+				out = append(out, token{kind: endTagToken, name: name})
+			}
+		}
+	}
+	return out
+}
+
+// parseTag splits "a href=..." into the tag name and its attributes.
+func parseTag(raw string) (string, map[string]string) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", nil
+	}
+	nameEnd := strings.IndexAny(raw, " \t\r\n")
+	if nameEnd < 0 {
+		return strings.ToLower(raw), nil
+	}
+	name := strings.ToLower(raw[:nameEnd])
+	rest := raw[nameEnd:]
+	attrs := map[string]string{}
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if rest == "" {
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		sp := strings.IndexAny(rest, " \t\r\n")
+		if eq < 0 || (sp >= 0 && sp < eq) {
+			// bare attribute
+			if sp < 0 {
+				attrs[strings.ToLower(rest)] = ""
+				break
+			}
+			attrs[strings.ToLower(rest[:sp])] = ""
+			rest = rest[sp:]
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(rest[:eq]))
+		rest = rest[eq+1:]
+		var val string
+		if rest != "" && (rest[0] == '"' || rest[0] == '\'') {
+			q := rest[0]
+			close := strings.IndexByte(rest[1:], q)
+			if close < 0 {
+				val = rest[1:]
+				rest = ""
+			} else {
+				val = rest[1 : 1+close]
+				rest = rest[close+2:]
+			}
+		} else {
+			sp2 := strings.IndexAny(rest, " \t\r\n")
+			if sp2 < 0 {
+				val = rest
+				rest = ""
+			} else {
+				val = rest[:sp2]
+				rest = rest[sp2:]
+			}
+		}
+		if key != "" {
+			attrs[key] = val
+		}
+	}
+	return name, attrs
+}
+
+// entities handled by DecodeEntities beyond numeric references.
+var namedEntities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "mdash": "—", "ndash": "–", "hellip": "…",
+	"ldquo": `"`, "rdquo": `"`, "lsquo": "'", "rsquo": "'",
+	"times": "×", "copy": "©", "reg": "®", "trade": "™", "deg": "°",
+	"ge": "≥", "le": "≤", "ne": "≠", "plusmn": "±", "middot": "·",
+}
+
+// DecodeEntities resolves named and numeric HTML character references.
+func DecodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		ent := s[i+1 : i+semi]
+		if strings.HasPrefix(ent, "#") {
+			num := ent[1:]
+			base := 10
+			if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+				num = num[1:]
+				base = 16
+			}
+			if cp, err := strconv.ParseInt(num, base, 32); err == nil && cp > 0 {
+				b.WriteRune(rune(cp))
+				i += semi + 1
+				continue
+			}
+		} else if rep, ok := namedEntities[ent]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}

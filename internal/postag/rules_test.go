@@ -1,0 +1,138 @@
+package postag
+
+import (
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// Regression tests for the contextual repair rules added while building the
+// golden dependency suite; each pins one construction the guides use.
+
+func TestRuleNumberWords(t *testing.T) {
+	s := "The request splits into two transactions of thirty-two bytes."
+	if got := tagOf(t, s, "two"); got != CD {
+		t.Errorf("two tagged %v, want CD", got)
+	}
+	if got := tagOf(t, s, "thirty-two"); got != CD {
+		t.Errorf("thirty-two tagged %v, want CD", got)
+	}
+	// "one" stays a pronoun ("one can experiment ...")
+	if got := tagOf(t, "One can experiment with the tile size.", "One"); got != PRP {
+		t.Errorf("One tagged %v, want PRP", got)
+	}
+}
+
+func TestRuleParticipleAfterPreposition(t *testing.T) {
+	s := "Change the layout from interleaved to planar."
+	if got := tagOf(t, s, "interleaved"); got != VBN {
+		t.Errorf("interleaved tagged %v, want VBN", got)
+	}
+}
+
+func TestRulePassivePostmodifier(t *testing.T) {
+	s := "The result is a scan followed by a pack."
+	if got := tagOf(t, s, "followed"); got != VBN {
+		t.Errorf("followed tagged %v, want VBN", got)
+	}
+}
+
+func TestRuleNNSBetweenNounAndDeterminer(t *testing.T) {
+	s := "A stride that crosses the segment boundary splits each request."
+	if got := tagOf(t, s, "splits"); got != VBZ {
+		t.Errorf("splits tagged %v, want VBZ", got)
+	}
+}
+
+func TestRuleFrontedClauseVerb(t *testing.T) {
+	s := "When the queue drains, submit the next batch."
+	if got := tagOf(t, s, "drains"); got != VBZ {
+		t.Errorf("drains tagged %v, want VBZ", got)
+	}
+	if got := tagOf(t, s, "submit"); got != VB {
+		t.Errorf("submit tagged %v, want VB", got)
+	}
+}
+
+func TestRuleRelativeClauseVerb(t *testing.T) {
+	s := "A kernel that spills registers loses throughput."
+	if got := tagOf(t, s, "spills"); got != VBZ {
+		t.Errorf("spills tagged %v, want VBZ", got)
+	}
+	if got := tagOf(t, s, "loses"); got != VBZ {
+		t.Errorf("loses tagged %v, want VBZ", got)
+	}
+}
+
+func TestRuleConjoinedImperatives(t *testing.T) {
+	s := "Avoid atomics and use privatized counters."
+	if got := tagOf(t, s, "use"); got != VB {
+		t.Errorf("use tagged %v, want VB", got)
+	}
+	if got := tagOf(t, s, "privatized"); got != VBN {
+		t.Errorf("privatized tagged %v, want VBN", got)
+	}
+}
+
+func TestRuleUnknownVerbAfterTo(t *testing.T) {
+	s := "It is faster to rebuild the table than to repopulate it."
+	if got := tagOf(t, s, "rebuild"); got != VB {
+		t.Errorf("rebuild tagged %v, want VB", got)
+	}
+	if got := tagOf(t, s, "repopulate"); got != VB {
+		t.Errorf("repopulate tagged %v, want VB", got)
+	}
+}
+
+func TestRuleNominalizationAfterDeterminer(t *testing.T) {
+	s := "Transform the gather into a scan."
+	if got := tagOf(t, s, "gather"); got != NN {
+		t.Errorf("gather tagged %v, want NN", got)
+	}
+	if got := tagOf(t, s, "Transform"); got != VB {
+		t.Errorf("Transform tagged %v, want VB", got)
+	}
+}
+
+func TestRuleSentenceFinalPluralStaysNominal(t *testing.T) {
+	s := "The developers of the runtime document this behavior in the release notes."
+	if got := tagOf(t, s, "notes"); got != NNS {
+		t.Errorf("notes tagged %v, want NNS", got)
+	}
+	if got := tagOf(t, s, "document"); got != VBP {
+		t.Errorf("document tagged %v, want VBP", got)
+	}
+}
+
+func TestRuleGerundSubject(t *testing.T) {
+	s := "Tiling the loops improves locality."
+	if got := tagOf(t, s, "Tiling"); got != VBG {
+		t.Errorf("Tiling tagged %v, want VBG", got)
+	}
+	if got := tagOf(t, s, "improves"); got != VBZ {
+		t.Errorf("improves tagged %v, want VBZ", got)
+	}
+}
+
+// sanity: the repair rules never leave a tag slice with a different length
+// or untagged positions.
+func TestRepairPreservesShape(t *testing.T) {
+	sentences := []string{
+		"When the queue drains, submit the next batch.",
+		"Avoid atomics and use privatized counters.",
+		"A kernel that spills registers loses throughput.",
+		"To hide the latency, increase the number of resident warps.",
+	}
+	for _, s := range sentences {
+		words := textproc.Words(s)
+		tags := Tags(words)
+		if len(tags) != len(words) {
+			t.Fatalf("%q: %d tags for %d words", s, len(tags), len(words))
+		}
+		for i, tg := range tags {
+			if tg == "" {
+				t.Errorf("%q: empty tag at %d", s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package postag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// Snapshot suite: full tag sequences for guide-register sentences, reviewed
+// by hand once and pinned. A failing entry means the tagger's behaviour
+// changed on a construction the rest of the pipeline depends on — inspect
+// before updating.
+var tagSnapshots = []struct {
+	sentence string
+	tags     string // space-separated, one per token
+}{
+	{
+		"Use shared memory to reduce global memory traffic.",
+		"VB VBN NN TO VB JJ NN NN .",
+	},
+	{
+		"The warp size is thirty-two threads.",
+		"DT NN NN VBZ CD NNS .",
+	},
+	{
+		"This synchronization guarantee can often be leveraged to avoid explicit calls.",
+		"DT NN NN MD RB VB VBN TO VB JJ NNS .",
+	},
+	{
+		"Pinning takes time, so avoid incurring pinning costs.",
+		"VBG VBZ NN . IN VBP VBG VBG NNS .",
+	},
+	{
+		"The number of threads per block should be chosen as a multiple of the warp size.",
+		"DT NN IN NNS IN NN MD VB VBN IN DT NN IN DT NN NN .",
+	},
+	{
+		"Developers can parameterize the execution configuration.",
+		"NNS MD VB DT NN NN .",
+	},
+	{
+		"It is often better to recompute a value than to fetch it.",
+		"PRP VBZ RB JJ TO VB DT NN IN TO VB PRP .",
+	},
+	{
+		"Do not use mapped memory for large transfers.",
+		"VBP RB VB VBN NN IN JJ NNS .",
+	},
+	{
+		"A kernel that spills registers loses throughput.",
+		"DT NN DT VBZ NNS VBZ NN .",
+	},
+	{
+		"To maximize instruction throughput the application should minimize arithmetic.",
+		"TO VB NN NN DT NN MD VB NN .",
+	},
+}
+
+func TestTagSnapshots(t *testing.T) {
+	for _, snap := range tagSnapshots {
+		words := textproc.Words(snap.sentence)
+		got := Tags(words)
+		want := strings.Fields(snap.tags)
+		if len(got) != len(want) {
+			t.Errorf("%q: %d tags, snapshot has %d", snap.sentence, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if string(got[i]) != want[i] {
+				t.Errorf("%q: token %d (%s) tagged %s, snapshot %s",
+					snap.sentence, i, words[i], got[i], want[i])
+			}
+		}
+	}
+}

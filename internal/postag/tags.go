@@ -1,0 +1,96 @@
+// Package postag implements a deterministic rule- and lexicon-based
+// part-of-speech tagger producing a Penn-Treebank-style tagset. It replaces
+// the statistical taggers inside Stanford CoreNLP used by the original Egeria
+// implementation; its lexicon and disambiguation rules are tuned for the
+// register of HPC programming guides (imperatives, passives, purpose
+// clauses), which is exactly the set of constructions Egeria's selectors
+// inspect.
+package postag
+
+// Tag is a Penn-Treebank-style part-of-speech tag.
+type Tag string
+
+// The tagset. Only the tags the downstream dependency parser and SRL layers
+// consume are distinguished; rarer Penn tags are folded into their nearest
+// neighbour (e.g. NNPS into NNS).
+const (
+	CC    Tag = "CC"   // coordinating conjunction
+	CD    Tag = "CD"   // cardinal number
+	DT    Tag = "DT"   // determiner
+	EX    Tag = "EX"   // existential there
+	IN    Tag = "IN"   // preposition / subordinating conjunction
+	JJ    Tag = "JJ"   // adjective
+	JJR   Tag = "JJR"  // adjective, comparative
+	JJS   Tag = "JJS"  // adjective, superlative
+	MD    Tag = "MD"   // modal
+	NN    Tag = "NN"   // noun, singular or mass
+	NNS   Tag = "NNS"  // noun, plural
+	NNP   Tag = "NNP"  // proper noun
+	POS   Tag = "POS"  // possessive ending
+	PRP   Tag = "PRP"  // personal pronoun
+	PRPS  Tag = "PRP$" // possessive pronoun
+	RB    Tag = "RB"   // adverb
+	RBR   Tag = "RBR"  // adverb, comparative
+	RBS   Tag = "RBS"  // adverb, superlative
+	RP    Tag = "RP"   // particle
+	SYM   Tag = "SYM"  // symbol
+	TO    Tag = "TO"   // infinitival to
+	UH    Tag = "UH"   // interjection
+	VB    Tag = "VB"   // verb, base form
+	VBD   Tag = "VBD"  // verb, past tense
+	VBG   Tag = "VBG"  // verb, gerund/present participle
+	VBN   Tag = "VBN"  // verb, past participle
+	VBP   Tag = "VBP"  // verb, non-3rd-person singular present
+	VBZ   Tag = "VBZ"  // verb, 3rd-person singular present
+	WDT   Tag = "WDT"  // wh-determiner
+	WP    Tag = "WP"   // wh-pronoun
+	WRB   Tag = "WRB"  // wh-adverb
+	PUNCT Tag = "."    // punctuation (collapsed)
+)
+
+// IsVerb reports whether t is any verbal tag.
+func (t Tag) IsVerb() bool {
+	switch t {
+	case VB, VBD, VBG, VBN, VBP, VBZ:
+		return true
+	}
+	return false
+}
+
+// IsNoun reports whether t is any nominal tag.
+func (t Tag) IsNoun() bool {
+	switch t {
+	case NN, NNS, NNP:
+		return true
+	}
+	return false
+}
+
+// IsAdjective reports whether t is any adjectival tag.
+func (t Tag) IsAdjective() bool {
+	switch t {
+	case JJ, JJR, JJS:
+		return true
+	}
+	return false
+}
+
+// IsAdverb reports whether t is any adverbial tag.
+func (t Tag) IsAdverb() bool {
+	switch t {
+	case RB, RBR, RBS:
+		return true
+	}
+	return false
+}
+
+// FiniteVerb reports whether t is a finite verb form (can head a clause with
+// tense): VBZ, VBP, VBD, or MD. VB counts as finite only in imperatives,
+// which the parser handles separately.
+func (t Tag) FiniteVerb() bool {
+	switch t {
+	case VBZ, VBP, VBD, MD:
+		return true
+	}
+	return false
+}

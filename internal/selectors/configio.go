@@ -1,0 +1,69 @@
+package selectors
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// configJSON is the on-disk shape of a Config; field names match the
+// paper's Table 2 set names for readability.
+type configJSON struct {
+	FlaggingWords   []string `json:"flagging_words"`
+	XcompGovernors  []string `json:"xcomp_governors"`
+	ImperativeWords []string `json:"imperative_words"`
+	KeySubjects     []string `json:"key_subjects"`
+	KeyPredicates   []string `json:"key_predicates"`
+}
+
+// WriteJSON serializes the configuration. Together with ReadConfigJSON it
+// supports the paper's extension story: adapting the advisor generator to a
+// new (even non-HPC) domain is a matter of editing a keyword file.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(configJSON(c)); err != nil {
+		return fmt.Errorf("selectors: write config: %w", err)
+	}
+	return nil
+}
+
+// ReadConfigJSON loads a configuration written by WriteJSON. Missing fields
+// stay empty — callers who want the defaults as a base should merge with
+// DefaultConfig via Merge.
+func ReadConfigJSON(r io.Reader) (Config, error) {
+	var cj configJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cj); err != nil {
+		return Config{}, fmt.Errorf("selectors: read config: %w", err)
+	}
+	return Config(cj), nil
+}
+
+// Merge returns a configuration whose keyword sets are the union of c and
+// other (duplicates removed, c's order first).
+func (c Config) Merge(other Config) Config {
+	return Config{
+		FlaggingWords:   dedupeAppend(c.FlaggingWords, other.FlaggingWords),
+		XcompGovernors:  dedupeAppend(c.XcompGovernors, other.XcompGovernors),
+		ImperativeWords: dedupeAppend(c.ImperativeWords, other.ImperativeWords),
+		KeySubjects:     dedupeAppend(c.KeySubjects, other.KeySubjects),
+		KeyPredicates:   dedupeAppend(c.KeyPredicates, other.KeyPredicates),
+	}
+}
+
+func dedupeAppend(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, lists := range [][]string{a, b} {
+		for _, w := range lists {
+			if w == "" || seen[w] {
+				continue
+			}
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}

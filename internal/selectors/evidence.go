@@ -1,0 +1,102 @@
+package selectors
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/depparse"
+	"repro/internal/srl"
+	"repro/internal/textproc"
+)
+
+// Evidence explains why a selector accepted a sentence — the keyword,
+// relation, or role that satisfied its rule. An advising tool that can say
+// *why* a sentence is advice is easier to trust and to tune (mis-selected
+// evidence points directly at the keyword or parse to fix).
+type Evidence struct {
+	Selector SelectorID
+	Detail   string // human-readable, e.g. `flagging phrase "good choice"`
+}
+
+// Explain returns the evidence for every selector that accepts the sentence
+// (not just the first, unlike Classify). An empty slice means no selector
+// fires.
+func (r *Recognizer) Explain(sentence string) []Evidence {
+	tree := depparse.ParseText(sentence)
+	return r.ExplainParsed(tree)
+}
+
+// ExplainParsed is Explain over a pre-parsed sentence.
+func (r *Recognizer) ExplainParsed(tree *depparse.Tree) []Evidence {
+	var out []Evidence
+
+	// selector 1: first matching flagging phrase
+	stems := textproc.StemAll(tree.Words)
+	for pi, phrase := range r.flaggingPhrases {
+		if containsSubsequence(stems, phrase) {
+			out = append(out, Evidence{
+				Selector: Keyword,
+				Detail:   fmt.Sprintf("flagging phrase %q", r.cfg.FlaggingWords[pi]),
+			})
+			break
+		}
+	}
+
+	// selector 2: the xcomp governor
+	for _, rel := range tree.Relations {
+		if rel.Type != depparse.Xcomp || rel.Governor < 0 {
+			continue
+		}
+		if r.xcompLemmas[tree.Lemma(rel.Governor)] || r.xcompLemmas[strings.ToLower(tree.Words[rel.Governor])] {
+			out = append(out, Evidence{
+				Selector: Comparative,
+				Detail: fmt.Sprintf("xcomp(%s, %s)",
+					tree.Words[rel.Governor], tree.Words[rel.Dependent]),
+			})
+			break
+		}
+	}
+
+	// selector 3: the subjectless imperative root
+	for _, v := range tree.ConjChainFromRoot() {
+		if !tree.Tags[v].IsVerb() {
+			continue
+		}
+		if tree.Tags[v] != "VB" && tree.Tags[v] != "VBP" {
+			continue
+		}
+		if r.imperativeLems[tree.Lemma(v)] && !tree.HasSubject(v) {
+			out = append(out, Evidence{
+				Selector: Imperative,
+				Detail:   fmt.Sprintf("imperative root %q with no subject", tree.Words[v]),
+			})
+			break
+		}
+	}
+
+	// selector 4: the key subject
+	for _, n := range tree.AllSubjects() {
+		lemma := textproc.Lemma(tree.Words[n], textproc.NounClass)
+		if r.subjectLemmas[lemma] {
+			out = append(out, Evidence{
+				Selector: Subject,
+				Detail:   fmt.Sprintf("subject %q (lemma %q)", tree.Words[n], lemma),
+			})
+			break
+		}
+	}
+
+	// selector 5: the purpose clause and its predicate
+	for _, p := range srl.PurposeClauses(tree) {
+		lemma := textproc.Lemma(tree.Words[p.Predicate], textproc.VerbClass)
+		if r.predicateLemmas[lemma] {
+			out = append(out, Evidence{
+				Selector: Purpose,
+				Detail: fmt.Sprintf("purpose %q with predicate %q",
+					srl.SpanText(tree, p.Start, p.End), lemma),
+			})
+			break
+		}
+	}
+	return out
+}

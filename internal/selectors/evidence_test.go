@@ -1,0 +1,98 @@
+package selectors
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/depparse"
+)
+
+func evidenceFor(t *testing.T, sentence string) []Evidence {
+	t.Helper()
+	return Default().Explain(sentence)
+}
+
+func TestExplainFlaggingPhrase(t *testing.T) {
+	ev := evidenceFor(t, "Buffers are a good choice for streaming writes.")
+	if len(ev) == 0 || ev[0].Selector != Keyword {
+		t.Fatalf("evidence: %+v", ev)
+	}
+	if !strings.Contains(ev[0].Detail, "good choice") {
+		t.Errorf("detail %q", ev[0].Detail)
+	}
+}
+
+func TestExplainXcomp(t *testing.T) {
+	ev := evidenceFor(t, "It is recommended to queue kernels in batches.")
+	found := false
+	for _, e := range ev {
+		if e.Selector == Comparative && strings.Contains(e.Detail, "xcomp(recommended, queue)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("evidence: %+v", ev)
+	}
+}
+
+func TestExplainImperative(t *testing.T) {
+	ev := evidenceFor(t, "Avoid bank conflicts in shared memory.")
+	found := false
+	for _, e := range ev {
+		if e.Selector == Imperative && strings.Contains(e.Detail, `"Avoid"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("evidence: %+v", ev)
+	}
+}
+
+func TestExplainSubjectAndPurpose(t *testing.T) {
+	ev := evidenceFor(t, "Developers can restructure the loop nest to minimize traffic.")
+	var sawSubject, sawPurpose bool
+	for _, e := range ev {
+		if e.Selector == Subject && strings.Contains(e.Detail, `"developer"`) {
+			sawSubject = true
+		}
+		if e.Selector == Purpose && strings.Contains(e.Detail, `"minimize"`) {
+			sawPurpose = true
+		}
+	}
+	if !sawSubject || !sawPurpose {
+		t.Errorf("evidence: %+v", ev)
+	}
+}
+
+func TestExplainEmptyForPlainSentences(t *testing.T) {
+	if ev := evidenceFor(t, "The warp size is thirty-two threads."); len(ev) != 0 {
+		t.Errorf("unexpected evidence: %+v", ev)
+	}
+}
+
+// Explain and Classify must agree: evidence is non-empty exactly when
+// Classify says advising, and the first evidence selector matches.
+func TestExplainConsistentWithClassify(t *testing.T) {
+	r := Default()
+	sentences := []string{
+		"Buffers are a good choice for streaming writes.",
+		"Avoid bank conflicts in shared memory.",
+		"It is recommended to queue kernels in batches.",
+		"The warp size is thirty-two threads.",
+		"Developers can tune the launch configuration.",
+		"The first step is to minimize data transfers with low bandwidth.",
+		"Each bank serves one request per cycle.",
+	}
+	for _, s := range sentences {
+		tree := depparse.ParseText(s)
+		res := r.ClassifyParsed(tree)
+		ev := r.ExplainParsed(tree)
+		if res.Advising != (len(ev) > 0) {
+			t.Errorf("%q: advising=%v but %d evidence entries", s, res.Advising, len(ev))
+			continue
+		}
+		if res.Advising && ev[0].Selector != res.Selector {
+			t.Errorf("%q: Classify selector %v but first evidence %v", s, res.Selector, ev[0].Selector)
+		}
+	}
+}

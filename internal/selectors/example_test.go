@@ -1,0 +1,26 @@
+package selectors_test
+
+import (
+	"fmt"
+
+	"repro/internal/selectors"
+)
+
+// Example classifies the paper's category-III example sentence.
+func Example() {
+	r := selectors.Default()
+	res := r.Classify("This synchronization guarantee can often be leveraged to avoid explicit clWaitForEvents() calls between command submissions.")
+	fmt.Println(res.Advising, res.Selector)
+	// Output:
+	// true comparative/passive (xcomp)
+}
+
+// ExampleRecognizer_Selector3 shows the imperative rule in isolation.
+func ExampleRecognizer_Selector3() {
+	r := selectors.Default()
+	fmt.Println(r.Selector3("Avoid bank conflicts in shared memory."))
+	fmt.Println(r.Selector3("The compiler avoids bank conflicts automatically."))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,271 @@
+package selectors
+
+import (
+	"strings"
+
+	"repro/internal/depparse"
+	"repro/internal/postag"
+	"repro/internal/srl"
+	"repro/internal/textproc"
+)
+
+// SelectorID identifies one of the five selectors.
+type SelectorID int
+
+// Selector identifiers; None means no selector accepted the sentence.
+const (
+	None SelectorID = iota
+	Keyword
+	Comparative // selector 2 also covers passive category III
+	Imperative
+	Subject
+	Purpose
+	NumSelectors = 5
+)
+
+// String names the selector as the paper does.
+func (s SelectorID) String() string {
+	switch s {
+	case Keyword:
+		return "keyword"
+	case Comparative:
+		return "comparative/passive (xcomp)"
+	case Imperative:
+		return "imperative"
+	case Subject:
+		return "subject"
+	case Purpose:
+		return "purpose"
+	}
+	return "none"
+}
+
+// Result reports the classification of one sentence.
+type Result struct {
+	Advising bool
+	Selector SelectorID // the first selector that accepted the sentence
+}
+
+// Recognizer classifies sentences as advising / non-advising. It is
+// immutable after construction and safe for concurrent use.
+type Recognizer struct {
+	cfg Config
+
+	flaggingPhrases [][]string // stemmed token sequences
+	xcompLemmas     map[string]bool
+	imperativeLems  map[string]bool
+	subjectLemmas   map[string]bool
+	predicateLemmas map[string]bool
+}
+
+// New compiles a Recognizer from cfg: flagging phrases are stemmed, and the
+// dependency-level keyword sets are reduced to lemmas so that any inflection
+// matches ("recommended" matches "recommend", "recommends", ...).
+func New(cfg Config) *Recognizer {
+	r := &Recognizer{
+		cfg:             cfg,
+		xcompLemmas:     map[string]bool{},
+		imperativeLems:  map[string]bool{},
+		subjectLemmas:   map[string]bool{},
+		predicateLemmas: map[string]bool{},
+	}
+	for _, phrase := range cfg.FlaggingWords {
+		stems := textproc.StemAll(textproc.Words(phrase))
+		if len(stems) > 0 {
+			r.flaggingPhrases = append(r.flaggingPhrases, stems)
+		}
+	}
+	for _, w := range cfg.XcompGovernors {
+		r.xcompLemmas[textproc.Lemma(w, textproc.VerbClass)] = true
+		r.xcompLemmas[textproc.Lemma(w, textproc.AdjClass)] = true
+		r.xcompLemmas[strings.ToLower(w)] = true
+	}
+	for _, w := range cfg.ImperativeWords {
+		r.imperativeLems[textproc.Lemma(w, textproc.VerbClass)] = true
+	}
+	for _, w := range cfg.KeySubjects {
+		r.subjectLemmas[textproc.Lemma(w, textproc.NounClass)] = true
+	}
+	for _, w := range cfg.KeyPredicates {
+		r.predicateLemmas[textproc.Lemma(w, textproc.VerbClass)] = true
+	}
+	return r
+}
+
+// Default returns a Recognizer over DefaultConfig.
+func Default() *Recognizer { return New(DefaultConfig()) }
+
+// Config returns the configuration the recognizer was compiled from.
+func (r *Recognizer) Config() Config { return r.cfg }
+
+// Classify runs the five selectors in order on a raw sentence. Parsing is
+// performed once and shared by selectors 2-5.
+func (r *Recognizer) Classify(sentence string) Result {
+	if r.Selector1(sentence) {
+		return Result{Advising: true, Selector: Keyword}
+	}
+	tree := depparse.ParseText(sentence)
+	return r.classifyTree(tree)
+}
+
+// ClassifyParsed is Classify for a pre-parsed sentence; the raw text for
+// selector 1 is reconstructed from the tokens.
+func (r *Recognizer) ClassifyParsed(tree *depparse.Tree) Result {
+	if r.selector1Tokens(tree.Words) {
+		return Result{Advising: true, Selector: Keyword}
+	}
+	return r.classifyTree(tree)
+}
+
+func (r *Recognizer) classifyTree(tree *depparse.Tree) Result {
+	switch {
+	case r.Selector2Tree(tree):
+		return Result{Advising: true, Selector: Comparative}
+	case r.Selector3Tree(tree):
+		return Result{Advising: true, Selector: Imperative}
+	case r.Selector4Tree(tree):
+		return Result{Advising: true, Selector: Subject}
+	case r.Selector5Tree(tree):
+		return Result{Advising: true, Selector: Purpose}
+	}
+	return Result{}
+}
+
+// Selector1 implements Rule 1: the sentence contains a flagging keyword
+// (after stemming; phrases match as consecutive stems).
+func (r *Recognizer) Selector1(sentence string) bool {
+	return r.selector1Tokens(textproc.Words(sentence))
+}
+
+func (r *Recognizer) selector1Tokens(words []string) bool {
+	stems := textproc.StemAll(words)
+	for _, phrase := range r.flaggingPhrases {
+		if containsSubsequence(stems, phrase) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSubsequence(haystack, needle []string) bool {
+	if len(needle) == 0 || len(needle) > len(haystack) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j, n := range needle {
+			if haystack[i+j] != n {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Selector2 implements Rule 2 on raw text; see Selector2Tree.
+func (r *Recognizer) Selector2(sentence string) bool {
+	return r.Selector2Tree(depparse.ParseText(sentence))
+}
+
+// Selector2Tree implements Rule 2: the sentence contains
+// xcomp(governor, *) with lemma(governor) in XCOMP GOVERNORS. This covers
+// both comparative (category II) and passive (category III) sentences.
+func (r *Recognizer) Selector2Tree(tree *depparse.Tree) bool {
+	for _, rel := range tree.Relations {
+		if rel.Type != depparse.Xcomp {
+			continue
+		}
+		gov := rel.Governor
+		if gov < 0 {
+			continue
+		}
+		if r.xcompLemmas[tree.Lemma(gov)] || r.xcompLemmas[strings.ToLower(tree.Words[gov])] {
+			return true
+		}
+	}
+	return false
+}
+
+// Selector3 implements Rule 3 on raw text; see Selector3Tree.
+func (r *Recognizer) Selector3(sentence string) bool {
+	return r.Selector3Tree(depparse.ParseText(sentence))
+}
+
+// Selector3Tree implements Rule 3: the root verb (or a clause head
+// coordinated with it, covering "..., so avoid ..." — the paper's own
+// category-IV example) is an IMPERATIVE WORD with no nominal subject.
+func (r *Recognizer) Selector3Tree(tree *depparse.Tree) bool {
+	for _, v := range tree.ConjChainFromRoot() {
+		if !tree.Tags[v].IsVerb() {
+			continue
+		}
+		if tree.Tags[v] != postag.VB && tree.Tags[v] != postag.VBP {
+			continue
+		}
+		if !r.imperativeLems[tree.Lemma(v)] {
+			continue
+		}
+		if !tree.HasSubject(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Selector4 implements Rule 4 on raw text; see Selector4Tree.
+func (r *Recognizer) Selector4(sentence string) bool {
+	return r.Selector4Tree(depparse.ParseText(sentence))
+}
+
+// Selector4Tree implements Rule 4: the sentence contains nsubj(governor, n)
+// with lemma(n) in KEY SUBJECTS.
+func (r *Recognizer) Selector4Tree(tree *depparse.Tree) bool {
+	for _, n := range tree.AllSubjects() {
+		if r.subjectLemmas[textproc.Lemma(tree.Words[n], textproc.NounClass)] {
+			return true
+		}
+	}
+	return false
+}
+
+// Selector5 implements Rule 5 on raw text; see Selector5Tree.
+func (r *Recognizer) Selector5(sentence string) bool {
+	return r.Selector5Tree(depparse.ParseText(sentence))
+}
+
+// Selector5Tree implements Rule 5: the sentence contains an AM-PNC purpose
+// argument whose predicate lemma is in KEY PREDICATES.
+func (r *Recognizer) Selector5Tree(tree *depparse.Tree) bool {
+	return srl.HasPurposeWithPredicate(tree, r.predicateLemmas)
+}
+
+// SelectorTree dispatches to the k-th selector (1-based) over a parsed
+// sentence; used by the Table 8 ablation harness.
+func (r *Recognizer) SelectorTree(k int, tree *depparse.Tree) bool {
+	switch k {
+	case 1:
+		return r.selector1Tokens(tree.Words)
+	case 2:
+		return r.Selector2Tree(tree)
+	case 3:
+		return r.Selector3Tree(tree)
+	case 4:
+		return r.Selector4Tree(tree)
+	case 5:
+		return r.Selector5Tree(tree)
+	}
+	return false
+}
+
+// AllKeywords returns the union of every keyword in the configuration —
+// the KeywordAll baseline of the paper's Table 8.
+func (c Config) AllKeywords() []string {
+	var out []string
+	out = append(out, c.FlaggingWords...)
+	out = append(out, c.XcompGovernors...)
+	out = append(out, c.ImperativeWords...)
+	out = append(out, c.KeySubjects...)
+	out = append(out, c.KeyPredicates...)
+	return out
+}

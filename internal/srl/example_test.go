@@ -1,0 +1,20 @@
+package srl_test
+
+import (
+	"fmt"
+
+	"repro/internal/depparse"
+	"repro/internal/srl"
+)
+
+// Example finds the purpose clause of the paper's Figure 3 sentence.
+func Example() {
+	tree := depparse.ParseText("The first step is to minimize data transfers with low bandwidth.")
+	for _, p := range srl.PurposeClauses(tree) {
+		fmt.Println(tree.Words[p.Predicate])
+		fmt.Println(srl.SpanText(tree, p.Start, p.End))
+	}
+	// Output:
+	// minimize
+	// to minimize data transfers with low bandwidth
+}

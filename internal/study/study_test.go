@@ -1,0 +1,194 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/gpusim"
+)
+
+func cudaAdvisor(t testing.TB) *core.Advisor {
+	t.Helper()
+	g := corpus.Generate(corpus.CUDA, 1)
+	return core.New().BuildFromSentences(g.Doc, g.Sentences)
+}
+
+func TestSurfacedOptimizationsCoverage(t *testing.T) {
+	a := cudaAdvisor(t)
+	surfaced, err := SurfacedOptimizations(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the advisor must surface at least the optimizations its report
+	// queries directly target, and most of the space overall
+	if len(surfaced) < 4 {
+		t.Fatalf("only %d optimizations surfaced: %v", len(surfaced), surfaced)
+	}
+	want := map[gpusim.Optimization]bool{
+		gpusim.RemoveDivergence: true,
+		gpusim.TuneOccupancy:    true,
+	}
+	for _, o := range surfaced {
+		delete(want, o)
+	}
+	for o := range want {
+		t.Errorf("optimization %v not surfaced by the advisor", o)
+	}
+}
+
+func TestRunTable5Shape(t *testing.T) {
+	a := cudaAdvisor(t)
+	res, err := Run(a, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Students) != 37 {
+		t.Fatalf("%d students", len(res.Students))
+	}
+	if res.Egeria780.N != 22 || res.Control780.N != 15 {
+		t.Fatalf("group sizes: %d / %d", res.Egeria780.N, res.Control780.N)
+	}
+	// Table 5 shape: Egeria group beats control on both devices,
+	// and every group does better on the 780 than the 480.
+	if res.Egeria780.Average <= res.Control780.Average {
+		t.Errorf("780: Egeria %.2f <= control %.2f", res.Egeria780.Average, res.Control780.Average)
+	}
+	if res.Egeria480.Average <= res.Control480.Average {
+		t.Errorf("480: Egeria %.2f <= control %.2f", res.Egeria480.Average, res.Control480.Average)
+	}
+	if res.Egeria780.Average <= res.Egeria480.Average {
+		t.Errorf("Egeria: 780 %.2f <= 480 %.2f", res.Egeria780.Average, res.Egeria480.Average)
+	}
+	if res.Control780.Average <= res.Control480.Average {
+		t.Errorf("control: 780 %.2f <= 480 %.2f", res.Control780.Average, res.Control480.Average)
+	}
+	// magnitudes in the paper's band (generously)
+	if res.Egeria780.Average < 4 || res.Egeria780.Average > 10 {
+		t.Errorf("Egeria 780 average %.2f outside [4, 10]", res.Egeria780.Average)
+	}
+	if res.Control480.Average < 1.2 || res.Control480.Average > 5 {
+		t.Errorf("control 480 average %.2f outside [1.2, 5]", res.Control480.Average)
+	}
+	// the gap should be material (paper: ~1.5x)
+	if res.Egeria780.Average/res.Control780.Average < 1.15 {
+		t.Errorf("780 gap too small: %.2f vs %.2f", res.Egeria780.Average, res.Control780.Average)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := cudaAdvisor(t)
+	p := DefaultParams()
+	r1, err := Run(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Egeria780.Average != r2.Egeria780.Average || r1.Control480.Median != r2.Control480.Median {
+		t.Error("study not deterministic for fixed seed")
+	}
+}
+
+func TestRunParamValidation(t *testing.T) {
+	a := cudaAdvisor(t)
+	if _, err := Run(a, Params{Students: 0}); err == nil {
+		t.Error("zero students accepted")
+	}
+	if _, err := Run(a, Params{Students: 5, WithAdvisor: 9}); err == nil {
+		t.Error("advisor count > students accepted")
+	}
+}
+
+func TestStudentsDiscoverValidOptimizations(t *testing.T) {
+	a := cudaAdvisor(t)
+	res, err := Run(a, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	advTotal, ctlTotal := 0, 0
+	for _, s := range res.Students {
+		for _, o := range s.Discovered {
+			if o < 0 || o >= gpusim.NumOptimizations {
+				t.Fatalf("invalid optimization %d", o)
+			}
+		}
+		if s.Speedup780 < 1 || s.Speedup480 < 1 {
+			t.Errorf("student %d slowed the program: %.2f / %.2f", s.ID, s.Speedup780, s.Speedup480)
+		}
+		if s.UsedAdvisor {
+			advTotal += len(s.Discovered)
+		} else {
+			ctlTotal += len(s.Discovered)
+		}
+	}
+	perAdv := float64(advTotal) / float64(res.Egeria780.N)
+	perCtl := float64(ctlTotal) / float64(res.Control780.N)
+	// the paper: "an individual in that group typically implemented fewer
+	// optimizations than an individual in the Egeria group"
+	if perAdv <= perCtl {
+		t.Errorf("per-student optimizations: advisor %.2f <= control %.2f", perAdv, perCtl)
+	}
+}
+
+func TestTable5CIRendering(t *testing.T) {
+	a := cudaAdvisor(t)
+	res, err := Run(a, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table5CI(res)
+	if !strings.Contains(out, "bootstrap") || !strings.Contains(out, "permutation p") {
+		t.Errorf("CI table:\n%s", out)
+	}
+	// with this seed the group gap must be significant
+	if !strings.Contains(out, "GTX780 0.00") {
+		t.Errorf("expected a small p-value:\n%s", out)
+	}
+}
+
+func TestSpeedupsGrouping(t *testing.T) {
+	a := cudaAdvisor(t)
+	res, err := Run(a, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.speedups(true, true)); n != 22 {
+		t.Errorf("egeria 780 group size %d", n)
+	}
+	if n := len(res.speedups(false, false)); n != 15 {
+		t.Errorf("control 480 group size %d", n)
+	}
+}
+
+func TestMatchOptimizations(t *testing.T) {
+	opts := MatchOptimizations([]string{
+		"Unroll the innermost loop by hand.",
+		"Stage reused tiles in shared memory.",
+	})
+	found := map[gpusim.Optimization]bool{}
+	for _, o := range opts {
+		found[o] = true
+	}
+	if !found[gpusim.UnrollLoop] || !found[gpusim.StageShared] {
+		t.Errorf("matched: %v", opts)
+	}
+	if len(MatchOptimizations(nil)) != 0 {
+		t.Error("empty advice matched optimizations")
+	}
+}
+
+func TestTable5Rendering(t *testing.T) {
+	a := cudaAdvisor(t)
+	res, err := Run(a, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table5(res)
+	if !strings.Contains(out, "Egeria used") || !strings.Contains(out, "GTX 780") {
+		t.Errorf("table:\n%s", out)
+	}
+}

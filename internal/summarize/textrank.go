@@ -1,0 +1,157 @@
+// Package summarize implements a classic extractive document summarizer
+// (TextRank: PageRank over a sentence-similarity graph). The paper
+// distinguishes advising sentence recognition from document summarization —
+// "document summarization aims at creating a representative summary ... It
+// focuses on finding the most informative sentences, which may not be
+// advising sentences" (§3.1, §5) — and this package provides the summarizer
+// that makes the contrast measurable: the experiment harness runs TextRank
+// as an additional Table 8 baseline.
+package summarize
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// Options tunes the TextRank computation.
+type Options struct {
+	Damping   float64 // PageRank damping factor (default 0.85)
+	Tolerance float64 // L1 convergence tolerance (default 1e-6)
+	MaxIter   int     // iteration cap (default 100)
+}
+
+func (o *Options) fill() {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+}
+
+// Scores runs TextRank and returns one centrality score per sentence.
+// Scores are non-negative and sum to ~1 for non-empty input.
+func Scores(sentences []string, opts Options) []float64 {
+	opts.fill()
+	n := len(sentences)
+	if n == 0 {
+		return nil
+	}
+	terms := make([][]string, n)
+	for i, s := range sentences {
+		terms[i] = textproc.NormalizeTerms(s)
+	}
+	// similarity: classic TextRank overlap normalized by log lengths
+	sim := make([][]float64, n)
+	rowSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sim[i] = make([]float64, n)
+	}
+	sets := make([]map[string]bool, n)
+	for i, t := range terms {
+		set := make(map[string]bool, len(t))
+		for _, w := range t {
+			set[w] = true
+		}
+		sets[i] = set
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := overlap(sets[i], sets[j], len(terms[i]), len(terms[j]))
+			sim[i][j] = s
+			sim[j][i] = s
+			rowSum[i] += s
+			rowSum[j] += s
+		}
+	}
+	// power iteration
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		var delta float64
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if sim[j][i] > 0 && rowSum[j] > 0 {
+					sum += rank[j] * sim[j][i] / rowSum[j]
+				}
+			}
+			next[i] = (1-opts.Damping)/float64(n) + opts.Damping*sum
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < opts.Tolerance {
+			break
+		}
+	}
+	// normalize to a distribution
+	var total float64
+	for _, r := range rank {
+		total += r
+	}
+	if total > 0 {
+		for i := range rank {
+			rank[i] /= total
+		}
+	}
+	return rank
+}
+
+// overlap is the TextRank similarity: |shared terms| / (log|a| + log|b|).
+func overlap(a, b map[string]bool, lenA, lenB int) float64 {
+	if lenA < 2 || lenB < 2 {
+		return 0
+	}
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	shared := 0
+	for w := range small {
+		if large[w] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		return 0
+	}
+	return float64(shared) / (math.Log(float64(lenA)) + math.Log(float64(lenB)))
+}
+
+// TopK returns the indices of the k highest-scoring sentences, in
+// descending score order (ties by ascending index).
+func TopK(sentences []string, k int, opts Options) []int {
+	scores := Scores(sentences, opts)
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Select returns a boolean selection vector marking the top-k sentences —
+// the shape the recognition-baseline harness consumes.
+func Select(sentences []string, k int) []bool {
+	out := make([]bool, len(sentences))
+	for _, i := range TopK(sentences, k, Options{}) {
+		out[i] = true
+	}
+	return out
+}

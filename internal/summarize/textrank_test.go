@@ -1,0 +1,171 @@
+package summarize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var doc = []string{
+	"Shared memory is divided into banks that serve one request per cycle.",       // 0
+	"Bank conflicts in shared memory serialize the conflicting requests.",         // 1
+	"Avoid bank conflicts in shared memory by padding the shared array.",          // 2
+	"The weather was pleasant on the day of the conference.",                      // 3 (off-topic)
+	"Shared memory bank conflicts lower the effective shared memory bandwidth.",   // 4
+	"Padding the shared array changes which bank each shared memory access hits.", // 5
+}
+
+func TestScoresDistribution(t *testing.T) {
+	scores := Scores(doc, Options{})
+	if len(scores) != len(doc) {
+		t.Fatalf("%d scores", len(scores))
+	}
+	var sum float64
+	for i, s := range scores {
+		if s < 0 {
+			t.Errorf("negative score at %d", i)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores sum to %f", sum)
+	}
+}
+
+func TestCentralSentencesRankHigher(t *testing.T) {
+	scores := Scores(doc, Options{})
+	// the off-topic sentence shares no vocabulary and must rank last
+	for i, s := range scores {
+		if i == 3 {
+			continue
+		}
+		if scores[3] >= s {
+			t.Errorf("off-topic sentence outranks %d: %f >= %f", i, scores[3], s)
+		}
+	}
+}
+
+func TestTopKOrderAndBounds(t *testing.T) {
+	top := TopK(doc, 3, Options{})
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	scores := Scores(doc, Options{})
+	for i := 1; i < len(top); i++ {
+		if scores[top[i]] > scores[top[i-1]] {
+			t.Error("top-k not sorted")
+		}
+	}
+	if got := TopK(doc, 100, Options{}); len(got) != len(doc) {
+		t.Errorf("k beyond n: %v", got)
+	}
+	if got := TopK(nil, 3, Options{}); len(got) != 0 {
+		t.Errorf("empty doc: %v", got)
+	}
+}
+
+func TestSelectVector(t *testing.T) {
+	sel := Select(doc, 2)
+	count := 0
+	for _, s := range sel {
+		if s {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("selected %d", count)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Scores(doc, Options{})
+	b := Scores(doc, Options{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if got := Scores(nil, Options{}); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+	one := Scores([]string{"only sentence here"}, Options{})
+	if len(one) != 1 || math.Abs(one[0]-1) > 1e-9 {
+		t.Errorf("single sentence: %v", one)
+	}
+	// all-identical sentences: uniform distribution
+	same := Scores([]string{"a b c d", "a b c d", "a b c d"}, Options{})
+	for _, s := range same {
+		if math.Abs(s-1.0/3) > 1e-6 {
+			t.Errorf("identical sentences not uniform: %v", same)
+		}
+	}
+	// sentences with no shared vocabulary: uniform too
+	disjoint := Scores([]string{"alpha beta gamma", "delta epsilon zeta", "eta theta iota"}, Options{})
+	for _, s := range disjoint {
+		if math.Abs(s-1.0/3) > 1e-6 {
+			t.Errorf("disjoint sentences not uniform: %v", disjoint)
+		}
+	}
+}
+
+// Property: scores are a probability distribution for any input.
+func TestScoresAlwaysDistribution(t *testing.T) {
+	vocab := []string{"memory", "warp", "cache", "use", "the", "of", "bank", "thread", "kernel", "latency"}
+	f := func(seed []byte) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		n := int(seed[0])%6 + 1
+		sentences := make([]string, n)
+		si := 1
+		for i := range sentences {
+			var words []string
+			for w := 0; w < 4+i; w++ {
+				if si >= len(seed) {
+					si = 0
+				}
+				words = append(words, vocab[int(seed[si])%len(vocab)])
+				si++
+			}
+			sentences[i] = joinWords(words)
+		}
+		scores := Scores(sentences, Options{})
+		var sum float64
+		for _, s := range scores {
+			if s < -1e-12 || math.IsNaN(s) {
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out + "."
+}
+
+func BenchmarkTextRank100(b *testing.B) {
+	sentences := make([]string, 100)
+	for i := range sentences {
+		sentences[i] = doc[i%len(doc)]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Scores(sentences, Options{})
+	}
+}

@@ -1,0 +1,316 @@
+package textproc
+
+import "strings"
+
+// WordClass is the coarse part-of-speech class used to steer lemmatization.
+type WordClass int
+
+const (
+	AnyClass WordClass = iota
+	VerbClass
+	NounClass
+	AdjClass
+)
+
+// irregularVerbs maps inflected irregular verb forms to their lemma.
+var irregularVerbs = map[string]string{
+	"am": "be", "is": "be", "are": "be", "was": "be", "were": "be",
+	"been": "be", "being": "be",
+	"has": "have", "had": "have", "having": "have",
+	"does": "do", "did": "do", "done": "do", "doing": "do",
+	"goes": "go", "went": "go", "gone": "go", "going": "go",
+	"gets": "get", "got": "get", "gotten": "get", "getting": "get",
+	"makes": "make", "made": "make", "making": "make",
+	"takes": "take", "took": "take", "taken": "take", "taking": "take",
+	"gives": "give", "gave": "give", "given": "give", "giving": "give",
+	"runs": "run", "ran": "run", "running": "run",
+	"writes": "write", "wrote": "write", "written": "write", "writing": "write",
+	"rewrites": "rewrite", "rewrote": "rewrite", "rewritten": "rewrite", "rewriting": "rewrite",
+	"overwrites": "overwrite", "overwrote": "overwrite", "overwritten": "overwrite", "overwriting": "overwrite",
+	"rebuilds": "rebuild", "rebuilt": "rebuild", "rebuilding": "rebuild",
+	"rereads": "reread", "rereading": "reread",
+	"reruns": "rerun", "reran": "rerun", "rerunning": "rerun",
+	"reads": "read", "reading": "read",
+	"finds": "find", "found": "find", "finding": "find",
+	"keeps": "keep", "kept": "keep", "keeping": "keep",
+	"leads": "lead", "led": "lead", "leading": "lead",
+	"holds": "hold", "held": "hold", "holding": "hold",
+	"puts": "put", "putting": "put",
+	"sets": "set", "setting": "set",
+	"lets": "let", "letting": "let",
+	"chooses": "choose", "chose": "choose", "chosen": "choose", "choosing": "choose",
+	"hides": "hide", "hid": "hide", "hidden": "hide", "hiding": "hide",
+	"knows": "know", "knew": "know", "known": "know", "knowing": "know",
+	"shows": "show", "showed": "show", "shown": "show", "showing": "show",
+	"sees": "see", "saw": "see", "seen": "see", "seeing": "see",
+	"means": "mean", "meant": "mean", "meaning": "mean",
+	"comes": "come", "came": "come", "coming": "come",
+	"becomes": "become", "became": "become", "becoming": "become",
+	"begins": "begin", "began": "begin", "begun": "begin", "beginning": "begin",
+	"brings": "bring", "brought": "bring", "bringing": "bring",
+	"builds": "build", "built": "build", "building": "build",
+	"buys": "buy", "bought": "buy", "buying": "buy",
+	"costs": "cost", "costing": "cost",
+	"cuts": "cut", "cutting": "cut",
+	"says": "say", "said": "say", "saying": "say",
+	"sends": "send", "sent": "send", "sending": "send",
+	"spends": "spend", "spent": "spend", "spending": "spend",
+	"splits": "split", "splitting": "split",
+	"thinks": "think", "thought": "think", "thinking": "think",
+	"loses": "lose", "lost": "lose", "losing": "lose",
+	"rises": "rise", "rose": "rise", "risen": "rise", "rising": "rise",
+	"falls": "fall", "fell": "fall", "fallen": "fall", "falling": "fall",
+	"grows": "grow", "grew": "grow", "grown": "grow", "growing": "grow",
+	"pays": "pay", "paid": "pay", "paying": "pay",
+	"binds": "bind", "bound": "bind", "binding": "bind",
+	"feeds": "feed", "fed": "feed", "feeding": "feed",
+	"speeds": "speed", "sped": "speed", "speeding": "speed",
+	"fits": "fit", "fitting": "fit",
+}
+
+// irregularNouns maps irregular plural forms to their singular lemma.
+var irregularNouns = map[string]string{
+	"children": "child", "men": "man", "women": "woman", "people": "person",
+	"indices": "index", "indexes": "index",
+	"vertices": "vertex", "vertexes": "vertex",
+	"matrices": "matrix", "matrixes": "matrix",
+	"caches": "cache", "branches": "branch", "switches": "switch",
+	"accesses": "access", "classes": "class", "processes": "process",
+	"buses": "bus", "busses": "bus", "analyses": "analysis",
+	"syntheses": "synthesis", "hypotheses": "hypothesis", "axes": "axis",
+	"criteria": "criterion", "phenomena": "phenomenon", "schemata": "schema",
+	"data": "data", "media": "media", "hardware": "hardware",
+	"software": "software", "series": "series",
+	"halves": "half", "lives": "life", "leaves": "leaf",
+	"feet": "foot", "copies": "copy", "bodies": "body",
+	"libraries": "library", "registries": "registry", "entries": "entry",
+	"queries": "query", "strategies": "strategy", "latencies": "latency",
+	"dependencies": "dependency", "hierarchies": "hierarchy",
+	"capabilities": "capability", "utilities": "utility",
+	"priorities": "priority", "boundaries": "boundary",
+	"capacities": "capacity", "penalties": "penalty",
+	"efficiencies": "efficiency", "frequencies": "frequency",
+	"memories": "memory", "geometries": "geometry", "properties": "property",
+	"technologies": "technology", "quantities": "quantity",
+	"activities": "activity", "facilities": "facility",
+	"possibilities": "possibility", "opportunities": "opportunity",
+}
+
+// wordsEndingInS are base forms that end in "s" and must not be stripped.
+var wordsEndingInS = map[string]bool{
+	"always": true, "perhaps": true, "thus": true, "plus": true,
+	"versus": true, "whereas": true, "across": true, "towards": true,
+	"besides": true, "less": true, "unless": true, "its": true,
+	"this": true, "is": true, "as": true, "us": true, "yes": true,
+	"focus": true, "bus": true, "access": true, "process": true,
+	"address": true, "class": true, "pass": true, "express": true,
+	"suppress": true, "miss": true, "loss": true, "excess": true,
+	"discuss": true, "harness": true, "possess": true, "compress": true,
+	"status": true, "analysis": true, "basis": true, "synthesis": true,
+	"axis": true, "cons": true, "pros": true, "various": true,
+	"previous": true, "numerous": true, "continuous": true,
+	"synchronous": true, "asynchronous": true, "simultaneous": true,
+	"heterogeneous": true, "homogeneous": true, "obvious": true,
+	"serious": true, "gauss": true, "atlas": true, "canvas": true,
+	"regardless": true, "stress": true, "progress": true, "success": true,
+}
+
+// Lemma returns the canonical (dictionary) form of word for the given word
+// class. It applies irregular-form tables first, then ordered suffix rules;
+// candidates produced by rules are validated against the base-form lexicon
+// when possible so that "using" -> "use" but "sing" stays "sing".
+func Lemma(word string, class WordClass) string {
+	w := strings.ToLower(word)
+	if w == "" {
+		return w
+	}
+	switch class {
+	case VerbClass:
+		return lemmaVerb(w)
+	case NounClass:
+		return lemmaNoun(w)
+	case AdjClass:
+		return lemmaAdj(w)
+	default:
+		if v, ok := irregularVerbs[w]; ok {
+			return v
+		}
+		if n, ok := irregularNouns[w]; ok {
+			return n
+		}
+		if lv := lemmaVerb(w); lv != w && KnownWord(lv) {
+			return lv
+		}
+		if ln := lemmaNoun(w); ln != w && KnownWord(ln) {
+			return ln
+		}
+		if lv := lemmaVerb(w); lv != w {
+			return lv
+		}
+		return lemmaNoun(w)
+	}
+}
+
+func lemmaVerb(w string) string {
+	if v, ok := irregularVerbs[w]; ok {
+		return v
+	}
+	if KnownWord(w) && !strings.HasSuffix(w, "ing") && !strings.HasSuffix(w, "ed") {
+		// already a base form; -s handled below because "focus" etc. are known
+		if !strings.HasSuffix(w, "s") || wordsEndingInS[w] {
+			return w
+		}
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ing") && len(w) > 4:
+		return restoreBase(w[:len(w)-3])
+	case strings.HasSuffix(w, "ed") && len(w) > 3:
+		return restoreBase(w[:len(w)-2])
+	case strings.HasSuffix(w, "es") && len(w) > 3:
+		if KnownWord(w[:len(w)-1]) {
+			// "maximizes" -> "maximize": the base itself ends in e
+			return w[:len(w)-1]
+		}
+		stem := w[:len(w)-2]
+		if hasSibilantEnd(stem) {
+			return stem
+		}
+		if KnownWord(stem + "e") {
+			return stem + "e"
+		}
+		if KnownWord(stem) {
+			return stem
+		}
+		return stem + "e"
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && !wordsEndingInS[w] && len(w) > 2:
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// restoreBase recovers the base form after stripping -ed/-ing: undoubles a
+// final doubled consonant ("controll" -> "control"), restores a dropped final
+// "e" ("us" -> "use", "leverag" -> "leverage"), validating with the lexicon.
+func restoreBase(stem string) string {
+	if stem == "" {
+		return stem
+	}
+	if KnownWord(stem) {
+		return stem
+	}
+	n := len(stem)
+	if n >= 2 && stem[n-1] == stem[n-2] && isConsonantByte(stem[n-1]) {
+		undoubled := stem[:n-1]
+		if KnownWord(undoubled) {
+			return undoubled
+		}
+	}
+	if KnownWord(stem + "e") {
+		return stem + "e"
+	}
+	// heuristics with no lexicon support: prefer e-restoration after
+	// typical e-dropping endings (single consonant after vowel pairs like
+	// "leverag", "schedul"), undouble otherwise.
+	if n >= 2 && stem[n-1] == stem[n-2] && isConsonantByte(stem[n-1]) {
+		return stem[:n-1]
+	}
+	if endsInEDropping(stem) {
+		return stem + "e"
+	}
+	return stem
+}
+
+func endsInEDropping(stem string) bool {
+	for _, suf := range []string{"at", "iz", "ys", "as", "us", "ag", "ul", "ur", "id", "od", "ad", "iev", "eiv", "ov", "uc", "ac", "anc", "enc", "erg", "arg", "abl", "ibl", "ibrat", "in"} {
+		if strings.HasSuffix(stem, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func lemmaNoun(w string) string {
+	if n, ok := irregularNouns[w]; ok {
+		return n
+	}
+	if wordsEndingInS[w] {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ches"), strings.HasSuffix(w, "shes"),
+		strings.HasSuffix(w, "xes"), strings.HasSuffix(w, "zes"),
+		strings.HasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "es") && len(w) > 3:
+		stem := w[:len(w)-2]
+		if KnownWord(stem + "e") {
+			return stem + "e"
+		}
+		if KnownWord(stem) {
+			return stem
+		}
+		return stem + "e"
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 2:
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// irregularAdjectives maps irregular comparative/superlative forms to their
+// base adjective.
+var irregularAdjectives = map[string]string{
+	"better": "good", "best": "good",
+	"worse": "bad", "worst": "bad",
+	"more": "much", "most": "much",
+	"less": "little", "least": "little",
+	"further": "far", "furthest": "far", "farther": "far", "farthest": "far",
+}
+
+func lemmaAdj(w string) string {
+	if a, ok := irregularAdjectives[w]; ok {
+		return a
+	}
+	switch {
+	case strings.HasSuffix(w, "iest") && len(w) > 5:
+		return w[:len(w)-4] + "y"
+	case strings.HasSuffix(w, "ier") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "est") && len(w) > 4:
+		return adjStem(w[:len(w)-3])
+	case strings.HasSuffix(w, "er") && len(w) > 3:
+		return adjStem(w[:len(w)-2])
+	}
+	return w
+}
+
+func adjStem(stem string) string {
+	if KnownWord(stem) {
+		return stem
+	}
+	if KnownWord(stem + "e") {
+		return stem + "e"
+	}
+	n := len(stem)
+	if n >= 2 && stem[n-1] == stem[n-2] && isConsonantByte(stem[n-1]) {
+		return stem[:n-1]
+	}
+	return stem
+}
+
+func hasSibilantEnd(s string) bool {
+	return strings.HasSuffix(s, "ch") || strings.HasSuffix(s, "sh") ||
+		strings.HasSuffix(s, "ss") || strings.HasSuffix(s, "x") ||
+		strings.HasSuffix(s, "z") || strings.HasSuffix(s, "o")
+}
+
+func isConsonantByte(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	}
+	return b >= 'a' && b <= 'z'
+}

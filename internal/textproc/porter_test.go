@@ -1,0 +1,211 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Classic Porter test vectors from the original paper and the reference
+// implementation's voc.txt/output.txt pairs.
+func TestStemClassicVectors(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemHPCVocabulary(t *testing.T) {
+	// Groups of inflections that must stem to the same string so keyword
+	// matching after stemming works as in the paper ("argue", "argued",
+	// "argues", "arguing" all reduce to "argu").
+	groups := [][]string{
+		{"argue", "argued", "argues", "arguing"},
+		{"optimize", "optimized", "optimizes", "optimizing", "optimization"},
+		{"coalesce", "coalesced", "coalescing"},
+		{"diverge", "diverged", "diverging"},
+		{"synchronize", "synchronized", "synchronizing", "synchronization"},
+		{"allocate", "allocated", "allocating", "allocation"},
+		{"parallelize", "parallelized", "parallelizing", "parallelization"},
+		{"access", "accesses", "accessed", "accessing"},
+		{"thread", "threads"},
+		{"memory", "memories"},
+		{"improve", "improved", "improves", "improving", "improvement"},
+		{"recommend", "recommended", "recommends", "recommending"},
+	}
+	for _, g := range groups {
+		base := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != base {
+				t.Errorf("Stem(%q) = %q, want %q (same as %q)", w, got, base, g[0])
+			}
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"a", "is", "be", "do", "on"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemLowercases(t *testing.T) {
+	if got := Stem("Optimizations"); got != Stem("optimizations") {
+		t.Errorf("case sensitivity: %q vs %q", got, Stem("optimizations"))
+	}
+}
+
+func TestStemNonAlphaPassthrough(t *testing.T) {
+	for _, w := range []string{"3.14", "maxrregcount", "clWaitForEvents()", "x86", "__restrict__"} {
+		got := Stem(w)
+		// identifiers must not be mangled (only lowercased)
+		if len(got) > len(w) {
+			t.Errorf("Stem(%q) = %q grew", w, got)
+		}
+		if got != w && got != lowerASCII(w) {
+			t.Errorf("Stem(%q) = %q, want passthrough", w, got)
+		}
+	}
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Property: stemming is idempotent for purely alphabetic words — stemming a
+// stem changes nothing in the vast majority of cases. Porter is not exactly
+// idempotent in theory, but it is on words it has already reduced; we check
+// the weaker, always-true invariants instead: output never longer than input,
+// and deterministic.
+func TestStemInvariants(t *testing.T) {
+	f := func(raw string) bool {
+		// derive a plausible lowercase word from arbitrary input
+		w := make([]byte, 0, len(raw))
+		for i := 0; i < len(raw) && len(w) < 24; i++ {
+			b := raw[i] | 0x20
+			if b >= 'a' && b <= 'z' {
+				w = append(w, b)
+			}
+		}
+		word := string(w)
+		s1 := Stem(word)
+		s2 := Stem(word)
+		if s1 != s2 {
+			return false // nondeterministic
+		}
+		if len(s1) > len(word) && word != "" {
+			// Porter may add a final 'e' in step 1b, but never grows the
+			// word overall by more than one byte.
+			if len(s1) > len(word)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemAll(t *testing.T) {
+	got := StemAll([]string{"threads", "running", "slowly"})
+	want := []string{"thread", "run", "slowli"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("StemAll[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"maximization", "throughput", "divergent", "coalescing", "optimization", "recommended", "performance", "instructions"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,135 @@
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Sentence is a segment of the source text with byte offsets.
+type Sentence struct {
+	Text  string
+	Start int
+	End   int
+}
+
+// abbreviations that end with a period but do not terminate a sentence.
+var abbreviations = map[string]bool{
+	"e.g": true, "i.e": true, "etc": true, "cf": true, "vs": true,
+	"fig": true, "figs": true, "eq": true, "eqs": true, "sec": true,
+	"dr": true, "mr": true, "mrs": true, "ms": true, "prof": true,
+	"no": true, "vol": true, "pp": true, "ch": true, "al": true,
+	"approx": true, "dept": true, "est": true, "inc": true, "corp": true,
+	"u.s": true, "ph.d": true, "resp": true, "max": true, "min": true,
+}
+
+// SplitSentences segments text into sentences. It is abbreviation-aware,
+// treats ".", "!", "?" as terminators, requires the following context to look
+// like a sentence start (whitespace followed by an uppercase letter, digit,
+// or opening quote/paren), and never splits inside decimal numbers, version
+// strings or identifiers ("CUDA 7.5", "compute capability 3.x").
+func SplitSentences(text string) []Sentence {
+	var out []Sentence
+	start := 0
+	n := len(text)
+	for i := 0; i < n; i++ {
+		b := text[i]
+		if b != '.' && b != '!' && b != '?' {
+			if b == '\n' && i+1 < n && text[i+1] == '\n' {
+				// blank line: hard paragraph boundary
+				if s := trimSentence(text, start, i); s != nil {
+					out = append(out, *s)
+				}
+				start = i + 1
+			}
+			continue
+		}
+		if b == '.' && !isSentenceFinalPeriod(text, i) {
+			continue
+		}
+		// absorb trailing closers: ." .) .''
+		end := i + 1
+		for end < n && (text[end] == '"' || text[end] == '\'' || text[end] == ')' || text[end] == ']') {
+			end++
+		}
+		if !looksLikeSentenceStart(text, end) {
+			continue
+		}
+		if s := trimSentence(text, start, end); s != nil {
+			out = append(out, *s)
+		}
+		start = end
+		i = end - 1
+	}
+	if s := trimSentence(text, start, n); s != nil {
+		out = append(out, *s)
+	}
+	return out
+}
+
+// SentenceStrings returns just the text of each sentence.
+func SentenceStrings(text string) []string {
+	ss := SplitSentences(text)
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Text
+	}
+	return out
+}
+
+func trimSentence(text string, start, end int) *Sentence {
+	for start < end && unicode.IsSpace(rune(text[start])) {
+		start++
+	}
+	for end > start && unicode.IsSpace(rune(text[end-1])) {
+		end--
+	}
+	if start >= end {
+		return nil
+	}
+	return &Sentence{Text: text[start:end], Start: start, End: end}
+}
+
+// isSentenceFinalPeriod decides whether the period at index i terminates a
+// sentence rather than appearing inside a number, identifier or abbreviation.
+func isSentenceFinalPeriod(text string, i int) bool {
+	// inside a number or identifier: "3.14", "5.4.2", "knnjoin.cu"
+	if i+1 < len(text) && isWordByte(text[i+1]) {
+		return false
+	}
+	// word preceding the period, including inner dots ("e.g", "u.s")
+	j := i
+	for j > 0 && (isWordByte(text[j-1]) ||
+		(text[j-1] == '.' && j >= 2 && isWordByte(text[j-2]))) {
+		j--
+	}
+	word := strings.ToLower(text[j:i])
+	if abbreviations[word] {
+		return false
+	}
+	// single uppercase initial: "J. Smith"
+	if len(word) == 1 && text[j] >= 'A' && text[j] <= 'Z' {
+		return false
+	}
+	return true
+}
+
+// looksLikeSentenceStart reports whether the text at offset end (after a
+// terminator) plausibly begins a new sentence.
+func looksLikeSentenceStart(text string, end int) bool {
+	if end >= len(text) {
+		return true
+	}
+	if !unicode.IsSpace(rune(text[end])) {
+		return false
+	}
+	k := end
+	for k < len(text) && unicode.IsSpace(rune(text[k])) {
+		k++
+	}
+	if k >= len(text) {
+		return true
+	}
+	b := text[k]
+	return (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9') ||
+		b == '"' || b == '\'' || b == '(' || b == '[' || b >= 128
+}

@@ -1,0 +1,147 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitSentencesBasic(t *testing.T) {
+	text := "Use shared memory. Avoid bank conflicts! Does it help? Yes."
+	got := SentenceStrings(text)
+	want := []string{
+		"Use shared memory.",
+		"Avoid bank conflicts!",
+		"Does it help?",
+		"Yes.",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d sentences %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sentence %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitSentencesAbbreviations(t *testing.T) {
+	text := "Profiling tools (e.g. NVProf) help identify issues. They do not fix them."
+	got := SentenceStrings(text)
+	if len(got) != 2 {
+		t.Fatalf("got %d sentences: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "NVProf") {
+		t.Errorf("first sentence should contain the abbreviation context: %q", got[0])
+	}
+}
+
+func TestSplitSentencesNumbersAndVersions(t *testing.T) {
+	cases := []struct {
+		text string
+		n    int
+	}{
+		{"Devices of compute capability 3.x issue 8L instructions. This hides latency.", 2},
+		{"The value is 3.14 in this case. It is rounded.", 2},
+		{"See Section 5.4.2 for details. It covers control flow.", 2},
+		{"CUDA 7.5 added new features.", 1},
+	}
+	for _, c := range cases {
+		got := SentenceStrings(c.text)
+		if len(got) != c.n {
+			t.Errorf("SplitSentences(%q): got %d sentences %v, want %d", c.text, len(got), got, c.n)
+		}
+	}
+}
+
+func TestSplitSentencesNoSplitOnLowercaseContinuation(t *testing.T) {
+	text := "This sentence mentions knnjoin.cu which is a file. It continues."
+	got := SentenceStrings(text)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSplitSentencesParagraphBreak(t *testing.T) {
+	text := "First paragraph without a terminator\n\nSecond paragraph here."
+	got := SentenceStrings(text)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSplitSentencesClosingQuote(t *testing.T) {
+	text := `He said "use registers." Then he left.`
+	got := SentenceStrings(text)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSplitSentencesEmpty(t *testing.T) {
+	if got := SplitSentences(""); len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+	if got := SplitSentences("   \n\t "); len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+func TestSplitSentencesPaperExamples(t *testing.T) {
+	// Sentences quoted in the Egeria paper must each survive segmentation
+	// as a single sentence.
+	paperSentences := []string{
+		"This can be a good choice when the host does not read the memory object to avoid the host having to make a copy of the data to transfer.",
+		"Thus, a developer may prefer using buffers instead of images if no sampling operation is needed.",
+		"This synchronization guarantee can often be leveraged to avoid explicit clWaitForEvents() calls between command submissions.",
+		"Pinning takes time, so avoid incurring pinning costs where CPU overhead must be avoided.",
+		"For peak performance on all devices, developers can choose to use conditional compilation for key code loops in the kernel, or in some cases even provide two separate kernels.",
+		"The first step in maximizing overall memory throughput for the application is to minimize data transfers with low bandwidth.",
+	}
+	joined := strings.Join(paperSentences, " ")
+	got := SentenceStrings(joined)
+	if len(got) != len(paperSentences) {
+		t.Fatalf("got %d sentences, want %d: %v", len(got), len(paperSentences), got)
+	}
+	for i := range got {
+		if got[i] != paperSentences[i] {
+			t.Errorf("sentence %d:\n got  %q\n want %q", i, got[i], paperSentences[i])
+		}
+	}
+}
+
+// Property: offsets are within bounds, ordered and non-overlapping, and the
+// text of each sentence matches its offsets.
+func TestSplitSentencesOffsetInvariants(t *testing.T) {
+	f := func(s string) bool {
+		prevEnd := 0
+		for _, sent := range SplitSentences(s) {
+			if sent.Start < prevEnd || sent.End > len(s) || sent.Start >= sent.End {
+				return false
+			}
+			if s[sent.Start:sent.End] != sent.Text {
+				return false
+			}
+			prevEnd = sent.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no sentence is empty or all-whitespace.
+func TestSplitSentencesNonEmpty(t *testing.T) {
+	f := func(s string) bool {
+		for _, sent := range SplitSentences(s) {
+			if strings.TrimSpace(sent.Text) == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

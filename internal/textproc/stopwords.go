@@ -1,0 +1,54 @@
+package textproc
+
+import "strings"
+
+// stopwordsRaw is the English stopword list (NLTK's list plus a few tokens
+// that behave like stopwords in programming guides, e.g. "e.g", "i.e").
+const stopwordsRaw = `
+i me my myself we our ours ourselves you your yours yourself yourselves
+he him his himself she her hers herself it its itself they them their
+theirs themselves what which who whom this that these those am is are
+was were be been being have has had having do does did doing a an the
+and but if or because as until while of at by for with about against
+between into through during before after above below to from up down in
+out on off over under again further then once here there when where why
+how all any both each few more most other some such no nor not only own
+same so than too very s t can will just don should now d ll m o re ve
+y ain aren couldn didn doesn hadn hasn haven isn ma mightn mustn needn
+shan shouldn wasn weren won wouldn e.g i.e etc vs
+`
+
+var stopwordSet = buildLexicon(stopwordsRaw)
+
+// IsStopword reports whether w is an English stopword. Matching is
+// case-insensitive.
+func IsStopword(w string) bool {
+	return stopwordSet[strings.ToLower(w)]
+}
+
+// RemoveStopwords returns words with stopwords and pure punctuation tokens
+// removed.
+func RemoveStopwords(words []string) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if IsStopword(w) || IsPunct(w) {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// NormalizeTerms produces the canonical term sequence used by the retrieval
+// layer: tokenize, lowercase, drop stopwords and punctuation, Porter-stem.
+func NormalizeTerms(text string) []string {
+	words := Words(text)
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if IsStopword(w) || IsPunct(w) {
+			continue
+		}
+		out = append(out, Stem(w))
+	}
+	return out
+}

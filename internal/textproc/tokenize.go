@@ -1,0 +1,164 @@
+// Package textproc provides the low-level text processing substrate used by
+// every NLP layer of the Egeria reproduction: sentence segmentation, word
+// tokenization, stemming (Porter), lemmatization, stopword filtering and
+// normalization. All components are deterministic, allocation-conscious and
+// safe for concurrent use (they hold no mutable state).
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single word-level token with its position in the source text.
+type Token struct {
+	Text  string // the token text as it appeared (case preserved)
+	Start int    // byte offset of the first byte in the source
+	End   int    // byte offset one past the last byte
+}
+
+// common contractions whose clitic should be split off, keyed by the
+// lowercase suffix that follows the apostrophe.
+var cliticSuffixes = []string{"n't", "'ll", "'re", "'ve", "'s", "'d", "'m"}
+
+// Tokenize splits text into word tokens in the style of the Penn Treebank /
+// NLTK word tokenizer: punctuation is split from words, contractions are
+// split at the clitic boundary ("don't" -> "do", "n't"), hyphenated words and
+// identifiers containing underscores or dots (e.g. "clWaitForEvents()",
+// "maxrregcount", "3.14f") are kept intact as single tokens because HPC
+// guides are full of them.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		r := rune(text[i])
+		switch {
+		case r < 128 && unicode.IsSpace(r):
+			i++
+		case isWordByte(text[i]):
+			j := i
+			for j < n && isWordContinuation(text, j) {
+				j++
+			}
+			word := text[i:j]
+			tokens = appendWordSplittingClitics(tokens, word, i)
+			i = j
+		default:
+			// punctuation: group runs of identical punctuation ("..." "--")
+			j := i + 1
+			for j < n && text[j] == text[i] && isGroupablePunct(text[i]) {
+				j++
+			}
+			tokens = append(tokens, Token{Text: text[i:j], Start: i, End: j})
+			i = j
+		}
+	}
+	return tokens
+}
+
+// Words returns just the token strings of Tokenize(text).
+func Words(text string) []string {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return nil
+	}
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// isWordByte reports whether b can begin a word token.
+func isWordByte(b byte) bool {
+	return b == '_' || b == '#' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') ||
+		(b >= '0' && b <= '9') || b >= 128
+}
+
+// isWordContinuation reports whether the byte at position j continues a word
+// token that started earlier. Inner hyphens, dots between alphanumerics,
+// apostrophes (handled later by clitic splitting) and identifier characters
+// continue a word.
+func isWordContinuation(text string, j int) bool {
+	b := text[j]
+	if isWordByte(b) {
+		return true
+	}
+	if j == 0 || j+1 >= len(text) {
+		return false
+	}
+	prev, next := text[j-1], text[j+1]
+	switch b {
+	case '-', '.', '/':
+		// "non-coalesced", "3.14", "read/write"
+		return isWordByte(prev) && isWordByte(next)
+	case '\'':
+		return isWordByte(prev) && isWordByte(next)
+	case '(', ')':
+		// keep "clWaitForEvents()" together: '(' directly followed by ')'
+		if b == '(' && next == ')' && isWordByte(prev) {
+			return true
+		}
+		if b == ')' && prev == '(' {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+func isGroupablePunct(b byte) bool {
+	return b == '.' || b == '-' || b == '*' || b == '=' || b == '_'
+}
+
+// appendWordSplittingClitics appends word (starting at byte offset off) to
+// tokens, splitting a trailing contraction clitic if present.
+func appendWordSplittingClitics(tokens []Token, word string, off int) []Token {
+	lower := strings.ToLower(word)
+	for _, suf := range cliticSuffixes {
+		if len(lower) > len(suf) && strings.HasSuffix(lower, suf) {
+			cut := len(word) - len(suf)
+			tokens = append(tokens, Token{Text: word[:cut], Start: off, End: off + cut})
+			tokens = append(tokens, Token{Text: word[cut:], Start: off + cut, End: off + len(word)})
+			return tokens
+		}
+	}
+	return append(tokens, Token{Text: word, Start: off, End: off + len(word)})
+}
+
+// IsPunct reports whether tok consists entirely of punctuation bytes.
+func IsPunct(tok string) bool {
+	if tok == "" {
+		return true
+	}
+	for i := 0; i < len(tok); i++ {
+		b := tok[i]
+		if isWordByte(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNumeric reports whether tok looks like a number literal (integer, float,
+// percentage, or a float with a C suffix like "3.14f" common in CUDA text).
+func IsNumeric(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	digits := 0
+	for i := 0; i < len(tok); i++ {
+		b := tok[i]
+		switch {
+		case b >= '0' && b <= '9':
+			digits++
+		case b == '.' || b == ',' || b == '%' || b == 'x' || b == 'X' || b == 'e' || b == 'E' || b == '+' || b == '-' || b == 'f' || b == 'F':
+			// allowed non-digit characters inside numbers
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}

@@ -1,0 +1,168 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Use shared memory.", []string{"Use", "shared", "memory", "."}},
+		{"a, b, and c", []string{"a", ",", "b", ",", "and", "c"}},
+		{"", nil},
+		{"   ", nil},
+		{"one", []string{"one"}},
+		{"GPU's memory", []string{"GPU", "'s", "memory"}},
+		{"don't block", []string{"do", "n't", "block"}},
+		{"it's fast; really fast!", []string{"it", "'s", "fast", ";", "really", "fast", "!"}},
+		{"(see Section 5.2)", []string{"(", "see", "Section", "5.2", ")"}},
+	}
+	for _, c := range cases {
+		got := Words(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Words(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeHPCIdentifiers(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantTok string
+	}{
+		{"use the maxrregcount compiler option", "maxrregcount"},
+		{"avoid explicit clWaitForEvents() calls", "clWaitForEvents()"},
+		{"defined with an f suffix such as 3.141592653589793f", "3.141592653589793f"},
+		{"non-coalesced memory accesses", "non-coalesced"},
+		{"devices of compute capability 3.x", "3.x"},
+		{"the #pragma unroll directive", "#pragma"},
+		{"use the __restrict__ keyword", "__restrict__"},
+		{"the knnjoin.cu program", "knnjoin.cu"},
+		{"read/write traffic", "read/write"},
+	}
+	for _, c := range cases {
+		words := Words(c.in)
+		found := false
+		for _, w := range words {
+			if w == c.wantTok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Words(%q) = %v, want it to contain %q", c.in, words, c.wantTok)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "Pinning takes time, so avoid incurring pinning costs."
+	for _, tok := range Tokenize(text) {
+		if tok.Start < 0 || tok.End > len(text) || tok.Start >= tok.End {
+			t.Fatalf("bad offsets for %+v", tok)
+		}
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: token %q but slice %q", tok.Text, text[tok.Start:tok.End])
+		}
+	}
+}
+
+func TestTokenizeOffsetsNonOverlapping(t *testing.T) {
+	text := "The number of threads per block should be chosen as a multiple of the warp size (32)."
+	toks := Tokenize(text)
+	for i := 1; i < len(toks); i++ {
+		if toks[i].Start < toks[i-1].End {
+			t.Errorf("overlapping tokens %v and %v", toks[i-1], toks[i])
+		}
+	}
+}
+
+func TestTokenizePunctGroups(t *testing.T) {
+	words := Words("wait... what -- no")
+	joined := strings.Join(words, " ")
+	if joined != "wait ... what -- no" {
+		t.Errorf("got %q", joined)
+	}
+}
+
+// Property: every non-space byte of the input is covered by exactly one token.
+func TestTokenizeCoversNonSpace(t *testing.T) {
+	f := func(s string) bool {
+		// restrict to printable ASCII to keep the property crisp
+		clean := make([]byte, 0, len(s))
+		for i := 0; i < len(s); i++ {
+			if s[i] >= 32 && s[i] < 127 {
+				clean = append(clean, s[i])
+			}
+		}
+		text := string(clean)
+		covered := make([]bool, len(text))
+		for _, tok := range Tokenize(text) {
+			for i := tok.Start; i < tok.End; i++ {
+				if covered[i] {
+					return false // overlap
+				}
+				covered[i] = true
+			}
+		}
+		for i := 0; i < len(text); i++ {
+			isSpace := text[i] == ' ' || text[i] == '\t' || text[i] == '\n' || text[i] == '\r'
+			if !isSpace && !covered[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: token texts concatenated in order appear in the input in order.
+func TestTokenizeOrderedSubstrings(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		last := 0
+		for _, tok := range toks {
+			if tok.Start < last {
+				return false
+			}
+			last = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPunct(t *testing.T) {
+	for _, p := range []string{".", ",", ";", "?!", "--", "(", ")", ""} {
+		if !IsPunct(p) {
+			t.Errorf("IsPunct(%q) = false, want true", p)
+		}
+	}
+	for _, w := range []string{"a", "x86", "word", "3.14", "_t"} {
+		if IsPunct(w) {
+			t.Errorf("IsPunct(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, p := range []string{"3", "3.14", "100%", "0x1F", "1e6", "3.141592653589793f", "1,000"} {
+		if !IsNumeric(p) {
+			t.Errorf("IsNumeric(%q) = false, want true", p)
+		}
+	}
+	for _, w := range []string{"", "pi", "three", "..", "x", "e"} {
+		if IsNumeric(w) {
+			t.Errorf("IsNumeric(%q) = true, want false", w)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package textproc
+
+import "strings"
+
+// baseLexiconRaw is a curated list of English base forms (verbs, nouns,
+// adjectives) biased toward the register of HPC programming guides. It is
+// used to validate candidate lemmas produced by the suffix rules: a candidate
+// that appears here is accepted immediately, which is what makes "using"
+// lemmatize to "use" (use is listed) while "sing" stays "sing" (no rule
+// fires). It is intentionally a validation set, not a closed vocabulary —
+// unknown words flow through the rule heuristics unharmed.
+const baseLexiconRaw = `
+able accelerate accelerator accept access accomplish account achieve act
+action active adapt add address adjust adopt advance advantage advise
+advisor affect aggregate algorithm align alignment alias allocate
+allocation allow alternate alternative amount analyze answer appear apply
+application approach appropriate architecture argue argument arithmetic
+arrange array arrive aspect assemble assembly assign associate assume
+atomic attach attain attempt attribute avoid await bad balance band
+bandwidth bank barrier base basic batch become begin behavior benchmark
+benefit best better bind bit block board body boost bottleneck bound
+boundary branch break bridge brief bring buffer build bus byte cache
+calculate call capability capacity capture care carry case cast cause
+cell chain chance change channel chapter characteristic check chip choice
+choose chunk circumvent cite claim class clause clean clear clock close
+cluster coalesce code collect collection combine command comment commit
+common communicate compare comparison compile compiler complete complex
+complexity component compose compute computation concept concurrent
+condition conditional configure configuration conflict connect consider
+consist constant constraint construct consume contain content context
+contiguous continue contribute control convert cooperate coordinate copy
+core correct correspond cost count counter couple course cover create
+critical cross crucial current cycle data deal debug decide decision
+declare decompose decrease dedicate default defer define degree delay
+delete demand demonstrate denote depend dependence dependency depth
+describe design desirable detail detect determine develop developer
+device devote differ difference different difficult dimension direct
+direction directive disable discard discuss dispatch distinct distribute
+diverge divergence divergent divide document domain dominate double
+download dram drive driver drop dual due dump duplicate duration dynamic
+each ease easy edge effect effective efficiency efficient effort element
+eliminate embed emit employ empty emulate enable encounter encourage end
+engine enhance enqueue ensure enter entire entry environment equal
+equation equip error essential establish estimate evaluate even event
+evict evolve examine example exceed except excess exchange exclusive
+execute execution exercise exhibit exist expand expect expense expensive
+experience experiment expert explain explicit exploit explore export
+expose express extend extension extent external extra extract fact factor
+fail failure fall false fast fault feature feed fetch fewer field figure
+file fill filter final find fine finish first fit fix flag flexible float
+flow flush focus fold follow footprint force form format formula forward
+fraction fragment frame framework free frequency frequent full fully
+function further fuse fusion gain gap gather general generate generation
+gigabyte give global good grain granularity graph graphic great grid
+group grow guarantee guard guide guideline half halt handle happen hard
+hardware harness hash have hazard head heavy help hide hierarchy high
+hint hit hold host hybrid idea ideal identical identify identity idle
+ignore illustrate image imbalance impact imperative implement implication
+implicit imply import important improve improvement include incorporate
+increase increment incur independent index indicate indirect individual
+inefficient infer influence inform information inherent initial
+initialize inline inner input insert inspect install instance instead
+instruction instrument integer integrate intend intense intensity
+intensive interact interest interface interleave intermediate internal
+interpret interrupt intrinsic introduce invalidate invoke involve issue
+item iterate iteration join keep kernel key keyword kind know label lane
+language large last latency launch layer layout lead leak learn leave
+less level leverage library lie lifetime light like likely limit limiter
+line linear link list little live load local locality locate location
+lock logic logical long look loop low lower machine main maintain major
+make manage management manner manual map mask master match matrix matter
+maximal maximize maximum measure mechanism media memory mention merge
+mesh message method metric microprocessor migrate minimal minimize
+minimum minor miss mitigate mix mode model modern modify module moment
+monitor more most move much multiple multiprocessor multiply must name
+narrow native nature near necessary need negative nest network new next
+node normal normalize notable note notice number object observe obtain
+occupancy occupy occur offer offload offset often old opencl operand
+operate operation opportunity optimal optimization optimize option
+optional order organize orient origin original other outer outline
+output outstanding overall overcome overhead overlap overload override
+own pack package pad page pair parallel parallelism parameter
+parameterize part partial particular partition pass passive path pattern
+peak penalty pend per percent perform performance period permit phase
+phenomenon pick piece pin pinpoint pipeline pitch place plan platform
+point pointer policy pool poor popular populate port portion position
+possess possible post potential power practice pragma precede precision
+predicate predict prefer prefetch prepare presence present preserve
+pressure prevent previous primary principle print prior priority private
+problem procedure proceed process processor produce product profile
+profiler program programmer progress project promote prompt proper
+property propose protect prove provide purpose push put quantity query
+question queue quick range rank rate rather ratio raw reach read ready
+real realize rearrange reason receive recent recognize recommend
+recompute reconsider record recover rectify reduce reduction redundant
+refactor refer reference refine region register regular relate relation
+relative release relevant reliable rely remain remark remember remind
+remove render reorder repeat replace replicate report represent request
+require requirement research reserve reside resident resolve resource
+respect respond response rest restrict result resume retain rethink
+retire retrieve return reuse reveal review revise revolve rewrite right
+root round routine row rule run runtime same sample satisfy save scale
+scan scatter schedule scheduler scheme scope second section see seek
+segment select selection selector semantic send sense separate sequence
+sequential serial serialize serve server service set setting setup
+several shape share shift short show side sign signal significant
+similar simple simplify simulate simultaneous single site situation size
+skip slow small smooth software solution solve some sort source space
+span spawn special specific specification specify speed spend spill
+split spot spread stack stage stall standard start state statement
+static statistic stay stem step storage store strategy stream strength
+stress stride string strip strong structure student study style
+subdivide subject submit subsection subsequent subset substantial
+substitute suffer sufficient suggest suit suitable sum summarize
+summary supply support suppose surface survey suspend sustain swap
+switch synchronize synchronization synthesize system table tag tail take
+talk target task technique technology tell temporary tend term test
+texture thrash thread three threshold throughput throw tie tile time tip
+together token tolerate tool top topic total trace track trade tradeoff
+traffic transaction transfer transform transition translate transpose
+traverse treat trigger trip true try tune tuning turn twice type typical
+under underlie understand unified uniform unit unite unroll update
+upload upper usage use useful user utilize utilization validate value
+variable variant variation vary vector vendor verify version view
+virtual visible visit volume wait want warp waste watch wave way weak
+weight well wide width will window wise word work workload wrap write
+yield zero zone
+`
+
+var baseLexicon = buildLexicon(baseLexiconRaw)
+
+func buildLexicon(raw string) map[string]bool {
+	m := make(map[string]bool, 1200)
+	for _, w := range strings.Fields(raw) {
+		m[w] = true
+	}
+	return m
+}
+
+// KnownWord reports whether w (lowercase) is a known English base form in
+// the built-in lexicon.
+func KnownWord(w string) bool {
+	return baseLexicon[w]
+}
+
+// LexiconSize returns the number of base forms in the built-in lexicon.
+func LexiconSize() int { return len(baseLexicon) }

@@ -1,0 +1,125 @@
+package vsm
+
+import (
+	"math"
+
+	"repro/internal/textproc"
+)
+
+// BM25 parameters (standard Robertson/Spärck-Jones defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// BM25Index scores sentences with Okapi BM25 — the retrieval ablation
+// against the paper's TF-IDF/VSM choice (Eqs. 1-2). Built from the same
+// normalized term stream as Index.
+type BM25Index struct {
+	vocab  map[string]int
+	idf    []float64 // BM25 idf: log((N - df + .5)/(df + .5) + 1)
+	docs   [][]entry // raw term frequencies per sentence (sorted by term)
+	lens   []float64 // token counts
+	avgLen float64
+	n      int
+}
+
+// BuildBM25 constructs a BM25 index over raw sentences.
+func BuildBM25(sentences []string) *BM25Index {
+	ix := &BM25Index{vocab: map[string]int{}, n: len(sentences)}
+	var df []int
+	termLists := make([][]string, len(sentences))
+	var totalLen float64
+	for i, s := range sentences {
+		terms := textproc.NormalizeTerms(s)
+		termLists[i] = terms
+		ix.lens = append(ix.lens, float64(len(terms)))
+		totalLen += float64(len(terms))
+		seen := map[int]bool{}
+		for _, t := range terms {
+			id, ok := ix.vocab[t]
+			if !ok {
+				id = len(ix.vocab)
+				ix.vocab[t] = id
+				df = append(df, 0)
+			}
+			if !seen[id] {
+				df[id]++
+				seen[id] = true
+			}
+		}
+	}
+	if ix.n > 0 {
+		ix.avgLen = totalLen / float64(ix.n)
+	}
+	ix.idf = make([]float64, len(df))
+	for id, d := range df {
+		ix.idf[id] = math.Log((float64(ix.n)-float64(d)+0.5)/(float64(d)+0.5) + 1)
+	}
+	ix.docs = make([][]entry, ix.n)
+	for i, terms := range termLists {
+		tf := map[int]float64{}
+		for _, t := range terms {
+			tf[ix.vocab[t]]++
+		}
+		vec := make([]entry, 0, len(tf))
+		for id, f := range tf {
+			vec = append(vec, entry{term: id, weight: f})
+		}
+		sortEntries(vec)
+		ix.docs[i] = vec
+	}
+	return ix
+}
+
+func sortEntries(v []entry) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j].term < v[j-1].term; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Scores returns the BM25 score of every sentence for the query.
+func (ix *BM25Index) Scores(query string) []float64 {
+	qTerms := textproc.NormalizeTerms(query)
+	out := make([]float64, ix.n)
+	qIDs := map[int]bool{}
+	for _, t := range qTerms {
+		if id, ok := ix.vocab[t]; ok {
+			qIDs[id] = true
+		}
+	}
+	if len(qIDs) == 0 {
+		return out
+	}
+	for i, doc := range ix.docs {
+		norm := bm25K1 * (1 - bm25B + bm25B*ix.lens[i]/ix.avgLen)
+		var s float64
+		for _, e := range doc {
+			if !qIDs[e.term] {
+				continue
+			}
+			s += ix.idf[e.term] * (e.weight * (bm25K1 + 1)) / (e.weight + norm)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TopK returns the indices of the k best-scoring sentences with positive
+// score, best first (ties by index).
+func (ix *BM25Index) TopK(query string, k int) []Match {
+	scores := ix.Scores(query)
+	var matches []Match
+	for i, s := range scores {
+		if s > 0 {
+			matches = append(matches, Match{Index: i, Score: s})
+		}
+	}
+	sortMatches(matches)
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
+}

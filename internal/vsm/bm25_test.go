@@ -1,0 +1,73 @@
+package vsm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBM25RelevanceOrdering(t *testing.T) {
+	ix := BuildBM25(corpus)
+	top := ix.TopK("how to avoid shared memory bank conflicts", 3)
+	if len(top) == 0 {
+		t.Fatal("no matches")
+	}
+	if top[0].Index != 1 {
+		t.Errorf("top match %d (%q), want 1", top[0].Index, corpus[top[0].Index])
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Error("not sorted")
+		}
+	}
+}
+
+func TestBM25NoOverlap(t *testing.T) {
+	ix := BuildBM25(corpus)
+	for _, s := range ix.Scores("zyzzyva quux") {
+		if s != 0 {
+			t.Errorf("score %f for vocab-free query", s)
+		}
+	}
+	if got := ix.TopK("", 5); len(got) != 0 {
+		t.Errorf("empty query matched: %v", got)
+	}
+}
+
+func TestBM25ScoresNonNegative(t *testing.T) {
+	ix := BuildBM25(corpus)
+	for _, q := range []string{"memory", "divergent warps control flow", "register compiler"} {
+		for i, s := range ix.Scores(q) {
+			if s < 0 || math.IsNaN(s) {
+				t.Errorf("q=%q sentence %d score %f", q, i, s)
+			}
+		}
+	}
+}
+
+func TestBM25LengthNormalization(t *testing.T) {
+	// same term frequency, shorter document scores higher
+	docs := []string{
+		"coalesce the accesses",
+		"coalesce the accesses while considering many other unrelated aspects of the launch configuration and the driver behavior",
+	}
+	ix := BuildBM25(docs)
+	s := ix.Scores("coalesce accesses")
+	if s[0] <= s[1] {
+		t.Errorf("length normalization inverted: %f vs %f", s[0], s[1])
+	}
+}
+
+func TestBM25EmptyIndex(t *testing.T) {
+	ix := BuildBM25(nil)
+	if got := ix.Scores("anything"); len(got) != 0 {
+		t.Errorf("empty index scored: %v", got)
+	}
+}
+
+func BenchmarkBM25Query(b *testing.B) {
+	ix := BuildBM25(corpus)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Scores("how to avoid shared memory bank conflicts")
+	}
+}

@@ -1,0 +1,21 @@
+package vsm_test
+
+import (
+	"fmt"
+
+	"repro/internal/vsm"
+)
+
+// Example retrieves the most relevant sentence for a query.
+func Example() {
+	ix := vsm.Build([]string{
+		"Use shared memory to reduce global memory traffic.",
+		"Avoid bank conflicts in shared memory.",
+		"The warp size is thirty-two threads.",
+	})
+	for _, m := range ix.TopK("bank conflicts", 1, vsm.DefaultThreshold) {
+		fmt.Println(m.Index)
+	}
+	// Output:
+	// 1
+}

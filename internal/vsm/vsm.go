@@ -1,0 +1,262 @@
+// Package vsm implements the Vector Space Model with TF-IDF weighting and
+// cosine similarity used by Egeria's Stage II (knowledge recommendation),
+// reproducing the paper's equations (1) and (2):
+//
+//	w(t,s)   = tf(t,s) * log(|S| / |{s' in S : t in s'}|)
+//	sim(s,q) = (v_s . v_q) / (|v_s| |v_q|)
+//
+// It replaces the Gensim TF-IDF/VSM pipeline of the original implementation.
+// An Index is immutable after Build and safe for concurrent queries; QueryAll
+// fans the similarity computation across GOMAXPROCS goroutines for large
+// sentence sets.
+package vsm
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/textproc"
+)
+
+// entry is one sparse vector component.
+type entry struct {
+	term   int
+	weight float64
+}
+
+// Index is a TF-IDF weighted vector space over a fixed sentence set.
+type Index struct {
+	vocab map[string]int
+	idf   []float64
+	vecs  [][]entry // L2-normalized sparse vectors, sorted by term id
+	n     int       // number of sentences
+}
+
+// Match is one retrieval result.
+type Match struct {
+	Index int     // sentence index within the index
+	Score float64 // cosine similarity to the query
+}
+
+// DefaultThreshold is the similarity threshold the paper uses to recommend a
+// sentence (§3.2: 0.15).
+const DefaultThreshold = 0.15
+
+// Build constructs an index over raw sentences, normalizing each with
+// textproc.NormalizeTerms (tokenize, lowercase, stop/punct removal, Porter
+// stemming).
+func Build(sentences []string) *Index {
+	terms := make([][]string, len(sentences))
+	for i, s := range sentences {
+		terms[i] = textproc.NormalizeTerms(s)
+	}
+	return BuildFromTerms(terms)
+}
+
+// BuildFromTerms constructs an index over pre-normalized term lists.
+func BuildFromTerms(termLists [][]string) *Index {
+	ix := &Index{
+		vocab: make(map[string]int),
+		n:     len(termLists),
+	}
+	// document frequencies
+	var df []int
+	for _, terms := range termLists {
+		seen := map[int]bool{}
+		for _, t := range terms {
+			id, ok := ix.vocab[t]
+			if !ok {
+				id = len(ix.vocab)
+				ix.vocab[t] = id
+				df = append(df, 0)
+			}
+			if !seen[id] {
+				df[id]++
+				seen[id] = true
+			}
+		}
+	}
+	ix.idf = make([]float64, len(df))
+	for id, d := range df {
+		if d > 0 {
+			ix.idf[id] = math.Log(float64(ix.n) / float64(d))
+		}
+	}
+	ix.vecs = make([][]entry, ix.n)
+	for i, terms := range termLists {
+		ix.vecs[i] = ix.vectorize(terms)
+	}
+	return ix
+}
+
+// vectorize converts a term list into a normalized sparse TF-IDF vector.
+// Terms outside the vocabulary are ignored.
+func (ix *Index) vectorize(terms []string) []entry {
+	tf := map[int]float64{}
+	for _, t := range terms {
+		if id, ok := ix.vocab[t]; ok {
+			tf[id]++
+		}
+	}
+	vec := make([]entry, 0, len(tf))
+	var norm float64
+	for id, f := range tf {
+		w := f * ix.idf[id]
+		if w == 0 {
+			continue
+		}
+		vec = append(vec, entry{term: id, weight: w})
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range vec {
+			vec[i].weight /= norm
+		}
+	}
+	sort.Slice(vec, func(a, b int) bool { return vec[a].term < vec[b].term })
+	return vec
+}
+
+// Len returns the number of sentences in the index.
+func (ix *Index) Len() int { return ix.n }
+
+// VocabSize returns the number of distinct terms.
+func (ix *Index) VocabSize() int { return len(ix.vocab) }
+
+// IDF returns the inverse document frequency of a term (0 if unknown).
+func (ix *Index) IDF(term string) float64 {
+	if id, ok := ix.vocab[term]; ok {
+		return ix.idf[id]
+	}
+	return 0
+}
+
+// dot computes the dot product of two sorted sparse vectors.
+func dot(a, b []entry) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].term == b[j].term:
+			s += a[i].weight * b[j].weight
+			i++
+			j++
+		case a[i].term < b[j].term:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// QueryVector builds the normalized query vector for raw query text.
+func (ix *Index) QueryVector(query string) []entry {
+	return ix.vectorize(textproc.NormalizeTerms(query))
+}
+
+// Similarity returns the cosine similarity between sentence i and the query.
+func (ix *Index) Similarity(i int, query string) float64 {
+	if i < 0 || i >= ix.n {
+		return 0
+	}
+	return dot(ix.vecs[i], ix.QueryVector(query))
+}
+
+// Query returns every sentence whose similarity to the query is at least
+// threshold, sorted by descending score (ties by ascending index).
+func (ix *Index) Query(query string, threshold float64) []Match {
+	qv := ix.QueryVector(query)
+	if len(qv) == 0 {
+		return nil
+	}
+	var out []Match
+	for i, v := range ix.vecs {
+		if s := dot(v, qv); s >= threshold {
+			out = append(out, Match{Index: i, Score: s})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// QueryAll computes the similarity of every sentence to the query in
+// parallel and returns the full score slice (one per sentence).
+func (ix *Index) QueryAll(query string) []float64 {
+	qv := ix.QueryVector(query)
+	scores := make([]float64, ix.n)
+	if len(qv) == 0 {
+		return scores
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > ix.n {
+		workers = ix.n
+	}
+	if workers <= 1 {
+		for i, v := range ix.vecs {
+			scores[i] = dot(v, qv)
+		}
+		return scores
+	}
+	var wg sync.WaitGroup
+	chunk := (ix.n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > ix.n {
+			hi = ix.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				scores[i] = dot(ix.vecs[i], qv)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return scores
+}
+
+// QuerySerial is QueryAll restricted to one goroutine (ablation baseline).
+func (ix *Index) QuerySerial(query string) []float64 {
+	qv := ix.QueryVector(query)
+	scores := make([]float64, ix.n)
+	if len(qv) == 0 {
+		return scores
+	}
+	for i, v := range ix.vecs {
+		scores[i] = dot(v, qv)
+	}
+	return scores
+}
+
+// TopK returns the k best matches at or above threshold.
+func (ix *Index) TopK(query string, k int, threshold float64) []Match {
+	m := ix.Query(query, threshold)
+	if len(m) > k {
+		m = m[:k]
+	}
+	return m
+}
+
+func sortMatches(m []Match) {
+	sort.Slice(m, func(a, b int) bool {
+		if m[a].Score != m[b].Score {
+			return m[a].Score > m[b].Score
+		}
+		return m[a].Index < m[b].Index
+	})
+}
+
+// Cosine computes the cosine similarity of two raw texts under this index's
+// TF-IDF weights (utility for tests and diagnostics).
+func (ix *Index) Cosine(a, b string) float64 {
+	return dot(ix.vectorize(textproc.NormalizeTerms(a)), ix.vectorize(textproc.NormalizeTerms(b)))
+}

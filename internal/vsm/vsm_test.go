@@ -1,0 +1,178 @@
+package vsm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var corpus = []string{
+	"Use shared memory to reduce global memory traffic.",
+	"Avoid bank conflicts in shared memory.",
+	"The warp size is thirty-two threads.",
+	"Coalesce global memory accesses to maximize bandwidth.",
+	"Unroll small loops to reduce instruction overhead.",
+	"Register usage can be controlled with a compiler option.",
+	"Minimize divergent warps caused by control flow instructions.",
+	"Overlap data transfers with kernel execution using streams.",
+}
+
+func TestQueryRelevanceOrdering(t *testing.T) {
+	ix := Build(corpus)
+	matches := ix.Query("how to avoid shared memory bank conflicts", 0.01)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	if matches[0].Index != 1 {
+		t.Errorf("top match = %d (%q), want 1", matches[0].Index, corpus[matches[0].Index])
+	}
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Score > matches[i-1].Score {
+			t.Errorf("matches not sorted: %v", matches)
+		}
+	}
+}
+
+func TestQueryThreshold(t *testing.T) {
+	ix := Build(corpus)
+	all := ix.Query("memory", 0)
+	strict := ix.Query("memory", 0.5)
+	if len(strict) > len(all) {
+		t.Error("higher threshold returned more matches")
+	}
+	for _, m := range strict {
+		if m.Score < 0.5 {
+			t.Errorf("match below threshold: %+v", m)
+		}
+	}
+}
+
+func TestQueryNoVocabularyOverlap(t *testing.T) {
+	ix := Build(corpus)
+	if got := ix.Query("zyzzyva quux", 0.01); len(got) != 0 {
+		t.Errorf("expected no matches, got %v", got)
+	}
+	if got := ix.Query("", 0.01); len(got) != 0 {
+		t.Errorf("empty query matched: %v", got)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	ix := Build(corpus)
+	for i := range corpus {
+		s := ix.Similarity(i, corpus[i])
+		if s < 0.999 || s > 1.001 {
+			t.Errorf("self-similarity of %d = %f, want 1", i, s)
+		}
+	}
+	if ix.Similarity(-1, "memory") != 0 || ix.Similarity(99, "memory") != 0 {
+		t.Error("out-of-range similarity should be 0")
+	}
+}
+
+func TestIDFBehaviour(t *testing.T) {
+	ix := Build(corpus)
+	// "memory" appears in several sentences, "warp" in fewer:
+	// rarer terms must have higher IDF.
+	if ix.IDF("memori") <= 0 {
+		t.Errorf("idf(memori) = %f, want > 0", ix.IDF("memori"))
+	}
+	if ix.IDF("warp") <= ix.IDF("memori") {
+		t.Errorf("idf(warp)=%f should exceed idf(memori)=%f", ix.IDF("warp"), ix.IDF("memori"))
+	}
+	if ix.IDF("nonexistentterm") != 0 {
+		t.Error("unknown term should have idf 0")
+	}
+}
+
+func TestQueryAllMatchesSerial(t *testing.T) {
+	ix := Build(corpus)
+	for _, q := range []string{"memory bandwidth", "divergent warps", "loop unrolling"} {
+		par := ix.QueryAll(q)
+		ser := ix.QuerySerial(q)
+		if len(par) != len(ser) {
+			t.Fatalf("length mismatch %d vs %d", len(par), len(ser))
+		}
+		for i := range par {
+			if math.Abs(par[i]-ser[i]) > 1e-12 {
+				t.Errorf("q=%q i=%d: parallel %f != serial %f", q, i, par[i], ser[i])
+			}
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ix := Build(corpus)
+	m := ix.TopK("memory", 2, 0)
+	if len(m) > 2 {
+		t.Errorf("TopK returned %d matches", len(m))
+	}
+}
+
+func TestLenAndVocab(t *testing.T) {
+	ix := Build(corpus)
+	if ix.Len() != len(corpus) {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if ix.VocabSize() == 0 {
+		t.Error("empty vocabulary")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := Build(nil)
+	if ix.Len() != 0 {
+		t.Error("empty index has nonzero len")
+	}
+	if got := ix.Query("anything", 0); len(got) != 0 {
+		t.Errorf("empty index matched: %v", got)
+	}
+}
+
+// Property: cosine similarity is symmetric and within [0, 1+eps] for
+// nonnegative TF-IDF vectors.
+func TestCosineProperties(t *testing.T) {
+	ix := Build(corpus)
+	texts := append([]string{}, corpus...)
+	texts = append(texts, "memory", "warp divergence", "")
+	f := func(i, j uint8) bool {
+		a := texts[int(i)%len(texts)]
+		b := texts[int(j)%len(texts)]
+		sab := ix.Cosine(a, b)
+		sba := ix.Cosine(b, a)
+		if math.Abs(sab-sba) > 1e-12 {
+			return false
+		}
+		return sab >= -1e-12 && sab <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every score Query returns is reproduced by Similarity.
+func TestQueryScoresConsistent(t *testing.T) {
+	ix := Build(corpus)
+	for _, q := range []string{"shared memory", "register usage compiler"} {
+		for _, m := range ix.Query(q, 0.01) {
+			if math.Abs(ix.Similarity(m.Index, q)-m.Score) > 1e-12 {
+				t.Errorf("inconsistent score for %d", m.Index)
+			}
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(corpus)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	ix := Build(corpus)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Query("how to avoid shared memory bank conflicts", DefaultThreshold)
+	}
+}

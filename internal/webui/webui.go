@@ -1,0 +1,299 @@
+// Package webui serves an Egeria advising tool over HTTP, reproducing the
+// artifact's web front-end (paper Figs. 6-7): a front page listing the
+// advising sentences extracted from the guide with links into the document
+// structure, a query box, and a report upload; answers are shown highlighted
+// together with the other advising sentences of the same section.
+package webui
+
+import (
+	"bytes"
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/nvvp"
+)
+
+// Server wraps an Advisor with HTTP handlers.
+type Server struct {
+	advisor *core.Advisor
+	title   string
+	mux     *http.ServeMux
+}
+
+// New creates a Server for an advisor. title labels the pages
+// (e.g. "CUDA Adviser").
+func New(advisor *core.Advisor, title string) *Server {
+	s := &Server{advisor: advisor, title: title, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/report", s.handleReport)
+	s.mux.HandleFunc("/doc", s.handleDoc)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+.section { margin-top: 1em; font-weight: bold; }
+.rule { margin: .3em 0 .3em 1.5em; }
+.selector { color: #888; font-size: .8em; }
+form { margin: 1em 0; }
+textarea { width: 100%; height: 8em; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p>{{.Count}} advising sentences extracted from {{.Total}} document sentences
+(ratio {{printf "%.1f" .Ratio}}).</p>
+<form action="/query" method="GET">
+  <input type="text" name="q" size="60" placeholder="Ask an optimization question">
+  <input type="submit" value="Search">
+</form>
+<form action="/report" method="POST">
+  <p>Or paste an NVVP analysis report:</p>
+  <textarea name="report"></textarea><br>
+  <input type="submit" value="Upload">
+</form>
+<p><a href="/doc">browse the full document</a></p>
+{{range .Groups}}
+<div class="section"><a href="/doc#{{.Anchor}}">{{.Section}}</a></div>
+{{range .Rules}}<div class="rule">{{.Text}} <span class="selector">[{{.Selector}}]</span></div>
+{{end}}{{end}}
+</body></html>`))
+
+var answerTmpl = template.Must(template.New("answer").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}} — answers</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+.issue { margin-top: 1.5em; font-weight: bold; }
+.section { margin-top: 1em; font-style: italic; }
+.hit { background: #ffec8b; margin: .3em 0 .3em 1.5em; padding: .15em; }
+.ctx { color: #444; margin: .3em 0 .3em 1.5em; }
+.score { color: #888; font-size: .8em; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p><a href="/">back to the rule list</a></p>
+{{range .Blocks}}
+<div class="issue">{{.Heading}}</div>
+{{if .Empty}}<p>No relevant sentences found.</p>{{end}}
+{{range .Items}}
+<div class="section"><a href="/doc#{{.Anchor}}">{{.Section}}</a></div>
+<div class="hit">{{.Text}} <span class="score">(score {{printf "%.2f" .Score}})</span></div>
+{{range .Context}}<div class="ctx">{{.}}</div>
+{{end}}{{end}}{{end}}
+</body></html>`))
+
+type ruleGroup struct {
+	Section string
+	Anchor  string
+	Rules   []core.AdvisingSentence
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	rules := s.advisor.Rules()
+	bySection := map[string][]core.AdvisingSentence{}
+	var order []string
+	for _, rule := range rules {
+		if _, ok := bySection[rule.Section]; !ok {
+			order = append(order, rule.Section)
+		}
+		bySection[rule.Section] = append(bySection[rule.Section], rule)
+	}
+	sort.Strings(order)
+	var groups []ruleGroup
+	for _, sec := range order {
+		groups = append(groups, ruleGroup{Section: sec, Anchor: anchorFor(sec), Rules: bySection[sec]})
+	}
+	data := struct {
+		Title  string
+		Count  int
+		Total  int
+		Ratio  float64
+		Groups []ruleGroup
+	}{s.title, len(rules), s.advisor.SentenceCount(), s.advisor.CompressionRatio(), groups}
+	render(w, indexTmpl, data)
+}
+
+type answerItem struct {
+	Section string
+	Anchor  string
+	Text    string
+	Score   float64
+	Context []string
+}
+
+type answerBlock struct {
+	Heading string
+	Empty   bool
+	Items   []answerItem
+}
+
+func (s *Server) answersToBlock(heading string, answers []core.Answer) answerBlock {
+	b := answerBlock{Heading: heading, Empty: len(answers) == 0}
+	for _, a := range answers {
+		item := answerItem{
+			Section: a.Sentence.Section,
+			Anchor:  anchorFor(a.Sentence.Section),
+			Text:    a.Sentence.Text,
+			Score:   a.Score,
+		}
+		for _, c := range s.advisor.ContextOf(a) {
+			item.Context = append(item.Context, c.Text)
+		}
+		if len(item.Context) > 4 {
+			item.Context = item.Context[:4]
+		}
+		b.Items = append(b.Items, item)
+	}
+	return b
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	answers := s.advisor.Query(q)
+	data := struct {
+		Title  string
+		Blocks []answerBlock
+	}{s.title, []answerBlock{s.answersToBlock("Query: "+q, answers)}}
+	render(w, answerTmpl, data)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a report", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	text := r.FormValue("report")
+	var report *nvvp.Report
+	var err error
+	if strings.HasPrefix(strings.TrimSpace(text), "{") {
+		var m *nvvp.Metrics
+		if m, err = nvvp.ParseMetricsJSON([]byte(text)); err == nil {
+			report = m.Report()
+		}
+	} else {
+		report, err = nvvp.Parse(text)
+	}
+	if err != nil {
+		http.Error(w, "could not parse report: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var blocks []answerBlock
+	for _, ra := range s.advisor.AnswerReport(report) {
+		blocks = append(blocks, s.answersToBlock("Issue: "+ra.Issue.Title, ra.Answers))
+	}
+	if len(blocks) == 0 {
+		blocks = []answerBlock{{Heading: "Report " + report.Program, Empty: true}}
+	}
+	data := struct {
+		Title  string
+		Blocks []answerBlock
+	}{s.title, blocks}
+	render(w, answerTmpl, data)
+}
+
+var docTmpl = template.Must(template.New("doc").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}} — document</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+h2 { margin-top: 1.2em; }
+.sent { display: inline; }
+.adv { background: #ffec8b; }
+</style></head><body>
+<h1>{{.Title}} — full document</h1>
+<p><a href="/">back to the rule list</a></p>
+{{range .Sections}}
+<h2 id="{{.Anchor}}">{{.Heading}}</h2>
+<p>{{range .Sentences}}<span class="sent{{if .Advising}} adv{{end}}">{{.Text}}</span> {{end}}</p>
+{{end}}
+</body></html>`))
+
+type docSentence struct {
+	Text     string
+	Advising bool
+}
+
+type docSection struct {
+	Anchor    string
+	Heading   string
+	Sentences []docSentence
+}
+
+// handleDoc renders the whole document with the advising sentences
+// highlighted in place — the "richer context" view the paper's loader
+// structure enables (§3.2), reachable from the answer pages' section links.
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	var sections []docSection
+	bySection := map[string]int{}
+	for i := 0; i < s.advisor.SentenceCount(); i++ {
+		sec := s.advisor.SectionOf(i)
+		idx, ok := bySection[sec]
+		if !ok {
+			idx = len(sections)
+			bySection[sec] = idx
+			sections = append(sections, docSection{
+				Anchor:  anchorFor(sec),
+				Heading: sec,
+			})
+		}
+		sections[idx].Sentences = append(sections[idx].Sentences, docSentence{
+			Text:     s.advisor.SentenceText(i),
+			Advising: s.advisor.IsAdvising(i),
+		})
+	}
+	data := struct {
+		Title    string
+		Sections []docSection
+	}{s.title, sections}
+	render(w, docTmpl, data)
+}
+
+// anchorFor derives a stable fragment identifier from a section path, so
+// answer pages can deep-link into the document browser.
+func anchorFor(section string) string {
+	var b strings.Builder
+	b.WriteString("sec-")
+	for _, r := range section {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+func render(w http.ResponseWriter, t *template.Template, data any) {
+	// render to a buffer first: template errors become clean 500s, and a
+	// client that hangs up mid-transfer cannot trigger a spurious error
+	// response on an already-started body
+	var buf bytes.Buffer
+	if err := t.Execute(&buf, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = buf.WriteTo(w) // client disconnects are not server errors
+}

@@ -1,0 +1,218 @@
+package webui
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/nvvp"
+)
+
+func testServer(t testing.TB) *Server {
+	t.Helper()
+	g := corpus.GenerateSized(corpus.CUDA, 250, 0.25, 4)
+	a := core.New().BuildFromSentences(g.Doc, g.Sentences)
+	return New(a, "CUDA Adviser")
+}
+
+func TestWebUIPages(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "CUDA Adviser") || !strings.Contains(body, "advising sentences") {
+		t.Errorf("index body:\n%s", body[:min(400, len(body))])
+	}
+	if !strings.Contains(body, `action="/query"`) || !strings.Contains(body, `action="/report"`) {
+		t.Error("index missing query/report forms (Fig. 6 surface)")
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape("How to increase warp execution efficiency"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "class=\"hit\"") {
+		t.Errorf("no highlighted answers in query page:\n%s", body[:min(600, len(body))])
+	}
+}
+
+func TestQueryEmptyRedirects(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/query?q=", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusSeeOther {
+		t.Errorf("empty query status %d", rec.Code)
+	}
+}
+
+func TestQueryNoResults(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/query?q=zyzzyva+quux", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "No relevant sentences found") {
+		t.Errorf("no-result page wrong: %d\n%s", rec.Code, rec.Body.String()[:min(400, rec.Body.Len())])
+	}
+}
+
+func TestReportUpload(t *testing.T) {
+	s := testServer(t)
+	text, err := nvvp.Synthesize("norm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	form := url.Values{"report": {text}}
+	req := httptest.NewRequest("POST", "/report", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("report status %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "Register Usage") || !strings.Contains(body, "Divergent Branches") {
+		t.Error("report answers missing issue headings")
+	}
+}
+
+func TestReportUploadJSONMetrics(t *testing.T) {
+	s := testServer(t)
+	metrics := `{
+		"program": "mykernel",
+		"warp_execution_efficiency": 0.5,
+		"occupancy": 0.9,
+		"global_load_efficiency": 0.9,
+		"branch_divergence": 0.05,
+		"dram_utilization": 0.4,
+		"issue_slot_utilization": 0.8,
+		"low_throughput_inst_fraction": 0.05,
+		"transfer_compute_ratio": 0.1
+	}`
+	form := url.Values{"report": {metrics}}
+	req := httptest.NewRequest("POST", "/report", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("metrics report status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "Low Warp Execution Efficiency") {
+		t.Error("metrics-derived issue missing from the answer page")
+	}
+}
+
+func TestReportUploadErrors(t *testing.T) {
+	s := testServer(t)
+	// GET not allowed
+	req := httptest.NewRequest("GET", "/report", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /report status %d", rec.Code)
+	}
+	// malformed report
+	form := url.Values{"report": {"not a report"}}
+	req = httptest.NewRequest("POST", "/report", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad report status %d", rec.Code)
+	}
+}
+
+func TestAnswerPagesDeepLinkIntoDoc(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/query?q="+url.QueryEscape("warp execution efficiency"), nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	if !strings.Contains(body, `href="/doc#sec-`) {
+		t.Error("answer page sections do not deep-link into the document browser")
+	}
+	// the referenced anchor must exist on the doc page
+	start := strings.Index(body, `href="/doc#`)
+	end := strings.Index(body[start+11:], `"`)
+	anchor := body[start+11 : start+11+end]
+	dreq := httptest.NewRequest("GET", "/doc", nil)
+	drec := httptest.NewRecorder()
+	s.ServeHTTP(drec, dreq)
+	if !strings.Contains(drec.Body.String(), `id="`+anchor+`"`) {
+		t.Errorf("anchor %q missing from the doc page", anchor)
+	}
+}
+
+func TestDocBrowserPage(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/doc", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("doc status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "full document") {
+		t.Error("doc page missing title")
+	}
+	if !strings.Contains(body, `class="sent adv"`) {
+		t.Error("no highlighted advising sentences on the doc page")
+	}
+	if !strings.Contains(body, `class="sent"`) {
+		t.Error("no plain sentences on the doc page")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/missing", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
