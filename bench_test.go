@@ -5,8 +5,11 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/nvvp"
 	"repro/internal/postag"
 	"repro/internal/selectors"
+	"repro/internal/service"
 	"repro/internal/srl"
 	"repro/internal/study"
 	"repro/internal/textproc"
@@ -249,6 +253,74 @@ func BenchmarkRanker_BM25(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.TopK("minimize data transfers with low bandwidth", 25)
+	}
+}
+
+// --- serving layer -----------------------------------------------------------
+
+func newBenchService(b *testing.B) *service.Service {
+	_, adv := setup(b)
+	reg := service.NewRegistry()
+	reg.Add("cuda", adv)
+	return service.New(reg, service.Options{
+		CacheSize:   8192,
+		MaxInFlight: 64,
+		Timeout:     30 * time.Second,
+	})
+}
+
+// BenchmarkServiceQuery contrasts a cache miss (every query unique, full
+// Stage-II retrieval) with a cache hit (same query repeated); the warm path
+// should be >= 10x cheaper — the whole point of the serving layer.
+func BenchmarkServiceQuery(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		svc := newBenchService(b)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf("reduce instruction and memory latency variant %d", i)
+			if _, _, err := svc.CachedQuery(ctx, "cuda", q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		svc := newBenchService(b)
+		ctx := context.Background()
+		const q = "reduce instruction and memory latency"
+		if _, _, err := svc.CachedQuery(ctx, "cuda", q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, hit, err := svc.CachedQuery(ctx, "cuda", q); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+		}
+	})
+}
+
+// --- Stage-II index layout: inverted postings vs dense scan ------------------
+
+func BenchmarkVSMInvertedIndex(b *testing.B) {
+	g, _ := setup(b)
+	ix := vsm.Build(g.Texts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query("minimize divergent warps caused by control flow", vsm.DefaultThreshold)
+	}
+}
+
+func BenchmarkVSMDenseScan(b *testing.B) {
+	g, _ := setup(b)
+	ix := vsm.Build(g.Texts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryDense("minimize divergent warps caused by control flow", vsm.DefaultThreshold)
 	}
 }
 

@@ -9,20 +9,33 @@
 //	egeria -corpus cuda report norm            # synthesize + answer a report
 //	egeria -doc guide.html report report.txt   # answer a report file
 //	egeria -corpus cuda serve -addr :8080
+//	egeria -corpus cuda -corpora opencl,xeon serve   # multi-advisor registry
 //
 // The -corpus flag selects a built-in synthetic guide (cuda, opencl, xeon)
 // instead of an HTML document; -xeon-tuned applies the paper's §4.3 keyword
 // tuning; -threshold overrides the 0.15 recommendation threshold.
+//
+// serve hosts the production layer of internal/service: the HTML UI at /,
+// a JSON API under /v1/ (advisors, rules, query, report), health endpoints
+// (/healthz, /readyz, /statsz), a sharded LRU query cache (-cache-size),
+// and admission control (-max-inflight, -timeout). SIGINT/SIGTERM drains
+// gracefully.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -30,6 +43,7 @@ import (
 	"repro/internal/htmldoc"
 	"repro/internal/nvvp"
 	"repro/internal/selectors"
+	"repro/internal/service"
 	"repro/internal/webui"
 )
 
@@ -45,6 +59,12 @@ func main() {
 		xeonTuned = flag.Bool("xeon-tuned", false, "use the Xeon-tuned keyword sets (§4.3)")
 		cfgPath   = flag.String("config", "", "JSON keyword configuration merged over the defaults")
 		addr      = flag.String("addr", ":8080", "listen address for serve")
+
+		// serving-layer flags (serve subcommand)
+		corpora     = flag.String("corpora", "", "comma-separated extra built-in guides to serve alongside the primary advisor (e.g. opencl,xeon)")
+		cacheSize   = flag.Int("cache-size", 1024, "query cache capacity (entries)")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrent retrievals before queuing/429")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request deadline")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -89,8 +109,23 @@ func main() {
 		}
 		cmdReport(advisor, args[1])
 	case "serve":
-		log.Printf("serving %s on %s", title, *addr)
-		if err := http.ListenAndServe(*addr, webui.New(advisor, title)); err != nil {
+		// accept flags after the subcommand too ("serve -addr :8080", the
+		// form the usage examples show): flag.Parse stops at the first
+		// non-flag argument, so re-parse the remainder
+		if len(args) > 1 {
+			if err := flag.CommandLine.Parse(args[1:]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := cmdServe(fw, advisor, title, serveConfig{
+			addr:        *addr,
+			primaryName: primaryAdvisorName(*corpusReg, *docPath),
+			extra:       splitList(*corpora),
+			seed:        *seed,
+			cacheSize:   *cacheSize,
+			maxInflight: *maxInflight,
+			timeout:     *timeout,
+		}); err != nil {
 			log.Fatal(err)
 		}
 	case "repl":
@@ -144,21 +179,139 @@ func buildAdvisor(fw *core.Framework, docPath, corpusReg string, seed int64) (*c
 		}
 		return fw.BuildFromDocument(doc), docPath, nil
 	case corpusReg != "":
-		var reg corpus.Register
-		switch strings.ToLower(corpusReg) {
-		case "cuda":
-			reg = corpus.CUDA
-		case "opencl":
-			reg = corpus.OpenCL
-		case "xeon", "xeonphi":
-			reg = corpus.XeonPhi
-		default:
-			return nil, "", fmt.Errorf("unknown corpus %q", corpusReg)
+		reg, err := corpusRegister(corpusReg)
+		if err != nil {
+			return nil, "", err
 		}
 		g := corpus.Generate(reg, seed)
 		return fw.BuildFromSentences(g.Doc, g.Sentences), g.Doc.Title, nil
 	}
 	return nil, "", fmt.Errorf("one of -doc or -corpus is required")
+}
+
+// corpusRegister maps a -corpus flag value onto a built-in guide register.
+func corpusRegister(name string) (corpus.Register, error) {
+	switch strings.ToLower(name) {
+	case "cuda":
+		return corpus.CUDA, nil
+	case "opencl":
+		return corpus.OpenCL, nil
+	case "xeon", "xeonphi":
+		return corpus.XeonPhi, nil
+	}
+	return 0, fmt.Errorf("unknown corpus %q", name)
+}
+
+// primaryAdvisorName derives the registry name for the primary advisor: the
+// corpus register when one was selected, else the document's base filename.
+func primaryAdvisorName(corpusReg, docPath string) string {
+	if corpusReg != "" {
+		name := strings.ToLower(corpusReg)
+		if name == "xeonphi" {
+			name = "xeon"
+		}
+		return name
+	}
+	base := filepath.Base(docPath)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// serveConfig carries the serve subcommand's knobs.
+type serveConfig struct {
+	addr        string
+	primaryName string
+	extra       []string // additional built-in guides to host
+	seed        int64
+	cacheSize   int
+	maxInflight int
+	timeout     time.Duration
+}
+
+// cmdServe runs the production serving layer: a registry hosting the primary
+// advisor plus any -corpora extras (built concurrently), the /v1 JSON API
+// with query cache and admission control, and the HTML webui on the same
+// mux sharing both. SIGINT/SIGTERM triggers a graceful drain.
+func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serveConfig) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// build any extra guides concurrently, then add the primary advisor
+	builders := map[string]func() (*core.Advisor, error){}
+	for _, name := range cfg.extra {
+		name := strings.ToLower(name)
+		if name == "xeonphi" {
+			name = "xeon"
+		}
+		if name == cfg.primaryName {
+			continue
+		}
+		builders[name] = func() (*core.Advisor, error) {
+			reg, err := corpusRegister(name)
+			if err != nil {
+				return nil, err
+			}
+			g := corpus.Generate(reg, cfg.seed)
+			return fw.BuildFromSentences(g.Doc, g.Sentences), nil
+		}
+	}
+	registry, err := service.BuildAll(builders)
+	if err != nil {
+		return err
+	}
+	registry.Add(cfg.primaryName, advisor)
+
+	svc := service.New(registry, service.Options{
+		CacheSize:   cfg.cacheSize,
+		MaxInFlight: cfg.maxInflight,
+		Timeout:     cfg.timeout,
+		Logger:      logger,
+	})
+
+	// the HTML UI shares the service's cache and admission control
+	ui := webui.New(advisor, title)
+	ui.SetQuerier(func(q string) []core.Answer {
+		answers, _, err := svc.CachedQuery(context.Background(), cfg.primaryName, q)
+		if err != nil {
+			logger.Warn("webui query failed", "err", err)
+			return nil
+		}
+		return answers
+	})
+
+	root := http.NewServeMux()
+	root.Handle("/v1/", svc)
+	root.Handle("/healthz", svc)
+	root.Handle("/readyz", svc)
+	root.Handle("/statsz", svc)
+	root.Handle("/", ui)
+
+	srv := &http.Server{Addr: cfg.addr, Handler: root}
+	done := make(chan error, 1)
+	go func() {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		<-sigc
+		logger.Info("signal received, draining")
+		svc.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx) // drains in-flight requests
+	}()
+	log.Printf("serving %s on %s (advisors: %s; JSON API under /v1/)",
+		title, cfg.addr, strings.Join(registry.Names(), ", "))
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
 }
 
 func cmdRules(a *core.Advisor) {
@@ -253,16 +406,9 @@ func cmdREPL(a *core.Advisor, title string) {
 // exportCorpus renders a synthetic guide as an HTML file, so the HTML
 // ingestion path can be exercised against a document with known properties.
 func exportCorpus(register string, seed int64, path string) error {
-	var reg corpus.Register
-	switch strings.ToLower(register) {
-	case "cuda":
-		reg = corpus.CUDA
-	case "opencl":
-		reg = corpus.OpenCL
-	case "xeon", "xeonphi":
-		reg = corpus.XeonPhi
-	default:
-		return fmt.Errorf("unknown corpus %q", register)
+	reg, err := corpusRegister(register)
+	if err != nil {
+		return err
 	}
 	g := corpus.Generate(reg, seed)
 	return os.WriteFile(path, []byte(g.RenderHTML()), 0o644)

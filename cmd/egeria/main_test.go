@@ -101,3 +101,38 @@ func TestParseAnyReportDispatch(t *testing.T) {
 		t.Error("broken text accepted")
 	}
 }
+
+func TestPrimaryAdvisorName(t *testing.T) {
+	cases := []struct{ corpus, doc, want string }{
+		{"cuda", "", "cuda"},
+		{"CUDA", "", "cuda"},
+		{"XeonPhi", "", "xeon"},
+		{"", "/tmp/guides/cuda-c-best-practices.html", "cuda-c-best-practices"},
+		{"", "guide.md", "guide"},
+	}
+	for _, c := range cases {
+		if got := primaryAdvisorName(c.corpus, c.doc); got != c.want {
+			t.Errorf("primaryAdvisorName(%q, %q) = %q, want %q", c.corpus, c.doc, got, c.want)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(" opencl, xeon ,,"); len(got) != 2 || got[0] != "opencl" || got[1] != "xeon" {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v, want nil", got)
+	}
+}
+
+func TestCorpusRegisterHelper(t *testing.T) {
+	for _, name := range []string{"cuda", "OpenCL", "xeon", "xeonphi"} {
+		if _, err := corpusRegister(name); err != nil {
+			t.Errorf("corpusRegister(%q): %v", name, err)
+		}
+	}
+	if _, err := corpusRegister("fortran"); err == nil {
+		t.Error("unknown register accepted")
+	}
+}

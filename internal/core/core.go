@@ -95,6 +95,8 @@ type BuildStats struct {
 
 // Advisor is a synthesized advising tool for one document.
 type Advisor struct {
+	name      string // registry name ("cuda"); set via SetName
+	builtAt   time.Time
 	doc       *htmldoc.Document
 	sentences []htmldoc.Sentence
 	advising  []AdvisingSentence
@@ -102,6 +104,24 @@ type Advisor struct {
 	index     *vsm.Index
 	threshold float64
 	stats     BuildStats
+}
+
+// Name returns the advisor's registry name ("" until SetName).
+func (a *Advisor) Name() string { return a.name }
+
+// SetName labels the advisor for serving registries and logs.
+func (a *Advisor) SetName(name string) { a.name = name }
+
+// BuiltAt returns when the advisor was synthesized (or loaded).
+func (a *Advisor) BuiltAt() time.Time { return a.builtAt }
+
+// Title returns the source document's title ("" when the advisor was built
+// from bare sentences).
+func (a *Advisor) Title() string {
+	if a.doc == nil {
+		return ""
+	}
+	return a.doc.Title
 }
 
 // BuildFromHTML synthesizes an advisor from a raw HTML guide.
@@ -124,6 +144,7 @@ func (f *Framework) BuildFromSentences(doc *htmldoc.Document, sents []htmldoc.Se
 		sentences: sents,
 		isAdv:     make([]bool, len(sents)),
 		threshold: f.threshold,
+		builtAt:   time.Now(),
 		stats: BuildStats{
 			Sentences:  len(sents),
 			BySelector: map[selectors.SelectorID]int{},

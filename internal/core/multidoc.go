@@ -94,3 +94,9 @@ func (d RulesDiff) Summary() string {
 	return fmt.Sprintf("%d kept, %d added, %d removed",
 		len(d.Kept), len(d.Added), len(d.Removed))
 }
+
+// Short renders only the churn — the form a registry hot-swap log line wants
+// ("reloaded cuda: 3 added, 1 removed").
+func (d RulesDiff) Short() string {
+	return fmt.Sprintf("%d added, %d removed", len(d.Added), len(d.Removed))
+}

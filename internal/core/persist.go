@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/htmldoc"
 	"repro/internal/selectors"
@@ -62,6 +63,7 @@ func LoadAdvisor(r io.Reader) (*Advisor, error) {
 		advising:  snap.Advising,
 		threshold: snap.Threshold,
 		isAdv:     make([]bool, len(snap.Sentences)),
+		builtAt:   time.Now(),
 		stats: BuildStats{
 			Sentences:  len(snap.Sentences),
 			Advising:   len(snap.Advising),

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"errors"
+)
+
+// Admission errors.
+var (
+	// ErrOverloaded: both the worker pool and the waiting queue are full —
+	// the caller should answer 429.
+	ErrOverloaded = errors.New("service: overloaded")
+)
+
+// Admission bounds how much retrieval work runs at once: at most maxInFlight
+// requests execute, at most maxQueue more wait for a slot, and everything
+// beyond that is rejected immediately so overload sheds load instead of
+// accumulating latency. Waiting respects the request context, so a
+// per-request timeout also bounds time spent queued.
+type Admission struct {
+	sem   chan struct{} // worker slots
+	queue chan struct{} // waiting-room slots
+	stats *Stats
+}
+
+// NewAdmission creates an admission controller with maxInFlight worker slots
+// and maxQueue waiting slots (both floored at 1 worker / 0 waiters).
+func NewAdmission(maxInFlight, maxQueue int, stats *Stats) *Admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		sem:   make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+		stats: stats,
+	}
+}
+
+// Acquire obtains a worker slot, waiting in the bounded queue if necessary.
+// It returns ErrOverloaded when the queue is full and the context's error
+// when the deadline expires while queued. On success the caller must
+// Release.
+func (a *Admission) Acquire(ctx context.Context) error {
+	// fast path: a free worker slot
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// enter the bounded waiting room or shed
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.stats.rejected.Add(1)
+		return ErrOverloaded
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a worker slot obtained by Acquire.
+func (a *Admission) Release() { <-a.sem }
+
+// InFlight returns how many worker slots are currently held.
+func (a *Admission) InFlight() int { return len(a.sem) }
+
+// Queued returns how many requests are waiting for a slot.
+func (a *Admission) Queued() int { return len(a.queue) }

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionAcquireRelease(t *testing.T) {
+	a := NewAdmission(2, 0, &Stats{})
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Errorf("in-flight %d, want 2", got)
+	}
+	// pool full, queue empty -> immediate rejection
+	if err := a.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	a.Release()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatalf("slot freed but acquire failed: %v", err)
+	}
+	a.Release()
+	a.Release()
+	if got := a.InFlight(); got != 0 {
+		t.Errorf("in-flight %d after releases, want 0", got)
+	}
+}
+
+func TestAdmissionQueueWaitsThenAcquires(t *testing.T) {
+	stats := &Stats{}
+	a := NewAdmission(1, 1, stats)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- a.Acquire(ctx) }()
+	// the goroutine is queued; give it a moment, then free the slot
+	for i := 0; a.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Queued() != 1 {
+		t.Fatal("waiter never queued")
+	}
+	a.Release()
+	if err := <-acquired; err != nil {
+		t.Fatalf("queued waiter should acquire after release: %v", err)
+	}
+	a.Release()
+}
+
+func TestAdmissionQueueOverflowRejects(t *testing.T) {
+	stats := &Stats{}
+	a := NewAdmission(1, 1, stats)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	blocked := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(blocked)
+		a.Acquire(ctx) // occupies the single queue slot
+		a.Release()
+	}()
+	<-blocked
+	for i := 0; a.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// pool full AND queue full -> overload
+	if err := a.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded with full queue, got %v", err)
+	}
+	if stats.rejected.Load() == 0 {
+		t.Error("rejection not counted")
+	}
+	a.Release() // lets the queued goroutine through
+	wg.Wait()
+}
+
+func TestAdmissionContextExpiresInQueue(t *testing.T) {
+	a := NewAdmission(1, 4, &Stats{})
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := a.Acquire(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded while queued, got %v", err)
+	}
+	if a.Queued() != 0 {
+		t.Errorf("queue slot leaked: %d", a.Queued())
+	}
+}

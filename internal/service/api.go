@@ -1,0 +1,101 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// The /v1 wire types. Marshaling with encoding/json is deterministic (struct
+// field order), so identical answers marshal to byte-identical bodies — the
+// property the cache relies on for reproducible responses.
+
+// AdvisorInfo is one element of GET /v1/advisors.
+type AdvisorInfo struct {
+	Name             string    `json:"name"`
+	Title            string    `json:"title,omitempty"`
+	Sentences        int       `json:"sentences"`
+	Rules            int       `json:"rules"`
+	CompressionRatio float64   `json:"compression_ratio"`
+	BuiltAt          time.Time `json:"built_at"`
+}
+
+// Rule is one advising sentence in GET /v1/{advisor}/rules.
+type Rule struct {
+	Index    int    `json:"index"`
+	Text     string `json:"text"`
+	Section  string `json:"section,omitempty"`
+	Selector string `json:"selector"`
+}
+
+// RulesResponse is the body of GET /v1/{advisor}/rules.
+type RulesResponse struct {
+	Advisor string `json:"advisor"`
+	Count   int    `json:"count"`
+	Rules   []Rule `json:"rules"`
+}
+
+// Answer is one Stage-II recommendation.
+type Answer struct {
+	Rule
+	Score float64 `json:"score"`
+}
+
+// QueryResponse is the body of GET /v1/{advisor}/query. Cache status is
+// reported in the X-Cache header, not the body, so repeated identical
+// queries stay byte-identical.
+type QueryResponse struct {
+	Advisor string   `json:"advisor"`
+	Query   string   `json:"query"`
+	Count   int      `json:"count"`
+	Answers []Answer `json:"answers"`
+}
+
+// IssueAnswers pairs one profiler issue with its recommendations in
+// POST /v1/{advisor}/report.
+type IssueAnswers struct {
+	Title   string   `json:"title"`
+	Section string   `json:"section,omitempty"`
+	Count   int      `json:"count"`
+	Answers []Answer `json:"answers"`
+}
+
+// ReportResponse is the body of POST /v1/{advisor}/report.
+type ReportResponse struct {
+	Advisor string         `json:"advisor"`
+	Program string         `json:"program,omitempty"`
+	Issues  []IssueAnswers `json:"issues"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func toRule(s core.AdvisingSentence) Rule {
+	return Rule{
+		Index:    s.Index,
+		Text:     s.Text,
+		Section:  s.Section,
+		Selector: s.Selector.String(),
+	}
+}
+
+func toAnswers(answers []core.Answer) []Answer {
+	out := make([]Answer, len(answers))
+	for i, a := range answers {
+		out[i] = Answer{Rule: toRule(a.Sentence), Score: a.Score}
+	}
+	return out
+}
+
+func advisorInfo(name string, a *core.Advisor) AdvisorInfo {
+	return AdvisorInfo{
+		Name:             name,
+		Title:            a.Title(),
+		Sentences:        a.SentenceCount(),
+		Rules:            len(a.Rules()),
+		CompressionRatio: a.CompressionRatio(),
+		BuiltAt:          a.BuiltAt().UTC(),
+	}
+}

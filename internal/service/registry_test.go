@@ -1,0 +1,131 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// small advisors for registry tests; built once (Stage I is the expensive part)
+var (
+	tinyOnce sync.Once
+	tinyV1   *core.Advisor
+	tinyV2   *core.Advisor
+)
+
+func tinyAdvisors(t testing.TB) (*core.Advisor, *core.Advisor) {
+	t.Helper()
+	tinyOnce.Do(func() {
+		fw := core.New()
+		g1 := corpus.GenerateSized(corpus.CUDA, 60, 0.3, 41)
+		g2 := corpus.GenerateSized(corpus.CUDA, 60, 0.3, 42)
+		tinyV1 = fw.BuildFromSentences(g1.Doc, g1.Sentences)
+		tinyV2 = fw.BuildFromSentences(g2.Doc, g2.Sentences)
+	})
+	return tinyV1, tinyV2
+}
+
+func TestRegistryAddGetNames(t *testing.T) {
+	v1, _ := tinyAdvisors(t)
+	r := NewRegistry()
+	if _, ok := r.Get("cuda"); ok {
+		t.Error("empty registry returned an advisor")
+	}
+	r.Add("cuda", v1)
+	r.Add("alpha", v1)
+	if got, ok := r.Get("cuda"); !ok || got != v1 {
+		t.Error("Get after Add failed")
+	}
+	if v1.Name() != "alpha" {
+		t.Errorf("Add must stamp the advisor name; got %q", v1.Name())
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "cuda" {
+		t.Errorf("Names() = %v, want sorted [alpha cuda]", names)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len() = %d", r.Len())
+	}
+}
+
+func TestRegistryReplaceLogsDiff(t *testing.T) {
+	v1, v2 := tinyAdvisors(t)
+	r := NewRegistry()
+	var mu sync.Mutex
+	var lines []string
+	r.SetLogf(func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	r.Replace("cuda", v1) // fresh name: "loaded"
+	diff := r.Replace("cuda", v2)
+	if got, _ := r.Get("cuda"); got != v2 {
+		t.Fatal("Replace did not swap the advisor")
+	}
+	want := core.DiffRules(v1, v2)
+	if diff.Short() != want.Short() {
+		t.Errorf("diff %q, want %q", diff.Short(), want.Short())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("log lines %v, want 2", lines)
+	}
+	if !strings.HasPrefix(lines[0], "loaded cuda:") {
+		t.Errorf("first line %q, want loaded", lines[0])
+	}
+	wantLine := fmt.Sprintf("reloaded cuda: %s", want.Short())
+	if lines[1] != wantLine {
+		t.Errorf("hot-swap line %q, want %q", lines[1], wantLine)
+	}
+}
+
+func TestBuildAllConcurrent(t *testing.T) {
+	fw := core.New()
+	builders := map[string]func() (*core.Advisor, error){}
+	for i, reg := range []corpus.Register{corpus.CUDA, corpus.OpenCL, corpus.XeonPhi} {
+		reg, seed := reg, int64(50+i)
+		name := fmt.Sprintf("guide-%d", i)
+		builders[name] = func() (*core.Advisor, error) {
+			g := corpus.GenerateSized(reg, 50, 0.3, seed)
+			return fw.BuildFromSentences(g.Doc, g.Sentences), nil
+		}
+	}
+	r, err := BuildAll(builders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("registry has %d advisors, want 3", r.Len())
+	}
+	for _, name := range r.Names() {
+		a, ok := r.Get(name)
+		if !ok || a.SentenceCount() == 0 {
+			t.Errorf("advisor %q empty or missing", name)
+		}
+		if a.Name() != name {
+			t.Errorf("advisor name %q, want %q", a.Name(), name)
+		}
+	}
+}
+
+func TestBuildAllPropagatesError(t *testing.T) {
+	boom := errors.New("corpus unavailable")
+	v1, _ := tinyAdvisors(t)
+	_, err := BuildAll(map[string]func() (*core.Advisor, error){
+		"ok":  func() (*core.Advisor, error) { return v1, nil },
+		"bad": func() (*core.Advisor, error) { return nil, boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want builder error surfaced, got %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), `"bad"`) {
+		t.Errorf("error %v must name the failing advisor", err)
+	}
+}

@@ -1,0 +1,369 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nvvp"
+)
+
+// Options configures a Service. The zero value gets sane production
+// defaults.
+type Options struct {
+	CacheSize   int           // total cached queries (default 1024)
+	CacheShards int           // LRU shards (default 8)
+	MaxInFlight int           // concurrent retrievals (default 64)
+	MaxQueue    int           // waiting-room size (default 4*MaxInFlight)
+	Timeout     time.Duration // per-request deadline (default 2s)
+	MaxBodySize int64         // report upload cap in bytes (default 1 MiB)
+	Logger      *slog.Logger  // structured access log (default: discard)
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 8
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInFlight
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.MaxBodySize <= 0 {
+		o.MaxBodySize = 1 << 20
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// Service is the advising server: JSON API + cache + admission over a
+// Registry. Create with New, mount via ServeHTTP (it implements
+// http.Handler), and call BeginDrain before shutting the http.Server down.
+type Service struct {
+	reg      *Registry
+	cache    *Cache
+	admit    *Admission
+	stats    *Stats
+	opts     Options
+	mux      *http.ServeMux
+	draining sync.RWMutex // held exclusively only to flip drain
+	drained  bool
+}
+
+// New assembles a Service over reg. The registry's hot-swap log is routed to
+// the service logger.
+func New(reg *Registry, opts Options) *Service {
+	opts = opts.withDefaults()
+	stats := &Stats{}
+	s := &Service{
+		reg:   reg,
+		cache: NewCache(opts.CacheSize, opts.CacheShards, stats),
+		admit: NewAdmission(opts.MaxInFlight, opts.MaxQueue, stats),
+		stats: stats,
+		opts:  opts,
+		mux:   http.NewServeMux(),
+	}
+	reg.SetLogf(func(format string, args ...any) {
+		opts.Logger.Info(fmt.Sprintf(format, args...))
+	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/advisors", s.handleAdvisors)
+	s.mux.HandleFunc("GET /v1/{advisor}/rules", s.handleRules)
+	s.mux.HandleFunc("GET /v1/{advisor}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/{advisor}/report", s.handleReport)
+	return s
+}
+
+// Registry returns the advisor registry the service serves from.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Stats returns a point-in-time snapshot of the operational counters.
+func (s *Service) Stats() StatsSnapshot {
+	snap := s.stats.snapshot()
+	snap.CacheSize = s.cache.Len()
+	snap.Advisors = s.reg.Len()
+	return snap
+}
+
+// Reload hot-swaps the named advisor and invalidates its cached answers.
+// It returns the rule diff, for callers that want to surface it.
+func (s *Service) Reload(name string, next *core.Advisor) core.RulesDiff {
+	diff := s.reg.Replace(name, next)
+	dropped := s.cache.Invalidate(name)
+	if dropped > 0 {
+		s.opts.Logger.Info("cache invalidated", "advisor", name, "entries", dropped)
+	}
+	return diff
+}
+
+// BeginDrain marks the service not-ready so load balancers (polling /readyz)
+// stop sending traffic; in-flight requests keep running. Pair it with
+// http.Server.Shutdown, which drains open connections.
+func (s *Service) BeginDrain() {
+	s.draining.Lock()
+	s.drained = true
+	s.draining.Unlock()
+	s.opts.Logger.Info("draining: readyz now failing, in-flight requests continuing")
+}
+
+func (s *Service) isDraining() bool {
+	s.draining.RLock()
+	defer s.draining.RUnlock()
+	return s.drained
+}
+
+// statusRecorder captures the response code for access logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler with access logging and in-flight
+// accounting around the routed handlers.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stats.requests.Add(1)
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	dur := time.Since(start)
+	if rec.status >= 500 {
+		s.stats.errors5xx.Add(1)
+	}
+	s.opts.Logger.Info("access",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rec.status,
+		"dur_micros", dur.Microseconds(),
+		"cache", rec.Header().Get("X-Cache"),
+	)
+}
+
+// CachedQuery answers q against the named advisor through the cache and
+// admission control — the path shared by the JSON API and the HTML webui.
+// hit reports whether retrieval was skipped.
+func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers []core.Answer, hit bool, err error) {
+	adv, ok := s.reg.Get(advisor)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownAdvisor, advisor)
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
+	defer cancel()
+	if err := s.admit.Acquire(ctx); err != nil {
+		return nil, false, err
+	}
+	defer s.admit.Release()
+	key := QueryKey(advisor, q)
+	// run the lookup in a goroutine so an expired deadline returns promptly;
+	// the computation itself finishes and still populates the cache
+	type result struct {
+		answers []core.Answer
+		hit     bool
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		a, h, e := s.cache.GetOrCompute(key, func() ([]core.Answer, error) {
+			return adv.Query(q), nil
+		})
+		ch <- result{a, h, e}
+	}()
+	select {
+	case res := <-ch:
+		return res.answers, res.hit, res.err
+	case <-ctx.Done():
+		s.stats.timeouts.Add(1)
+		return nil, false, ctx.Err()
+	}
+}
+
+// ErrUnknownAdvisor: the path's {advisor} is not in the registry.
+var ErrUnknownAdvisor = errors.New("service: unknown advisor")
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isDraining() || s.reg.Len() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Service) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleAdvisors(w http.ResponseWriter, _ *http.Request) {
+	names := s.reg.Names()
+	infos := make([]AdvisorInfo, 0, len(names))
+	for _, n := range names {
+		if a, ok := s.reg.Get(n); ok {
+			infos = append(infos, advisorInfo(n, a))
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Service) handleRules(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("advisor")
+	adv, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown advisor %q", name)
+		return
+	}
+	rules := adv.Rules()
+	resp := RulesResponse{Advisor: name, Count: len(rules), Rules: make([]Rule, len(rules))}
+	for i, rule := range rules {
+		resp.Rules[i] = toRule(rule)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("advisor")
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	start := time.Now()
+	answers, hit, err := s.CachedQuery(r.Context(), name, q)
+	s.stats.queryRing.record(time.Since(start))
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Advisor: name,
+		Query:   q,
+		Count:   len(answers),
+		Answers: toAnswers(answers),
+	})
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("advisor")
+	if _, ok := s.reg.Get(name); !ok {
+		writeError(w, http.StatusNotFound, "unknown advisor %q", name)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodySize+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.opts.MaxBodySize {
+		writeError(w, http.StatusRequestEntityTooLarge, "report exceeds %d bytes", s.opts.MaxBodySize)
+		return
+	}
+	report, err := parseReport(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "could not parse report: %v", err)
+		return
+	}
+	start := time.Now()
+	resp := ReportResponse{Advisor: name, Program: report.Program}
+	for _, issue := range report.Issues() {
+		answers, _, err := s.CachedQuery(r.Context(), name, issue.Query())
+		if err != nil {
+			s.stats.reportRing.record(time.Since(start))
+			writeQueryError(w, err)
+			return
+		}
+		resp.Issues = append(resp.Issues, IssueAnswers{
+			Title:   issue.Title,
+			Section: issue.Section,
+			Count:   len(answers),
+			Answers: toAnswers(answers),
+		})
+	}
+	s.stats.reportRing.record(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseReport accepts both profiler formats: NVVP-style text and the JSON
+// metrics snapshot.
+func parseReport(text string) (*nvvp.Report, error) {
+	trimmed := strings.TrimSpace(text)
+	if strings.HasPrefix(trimmed, "{") {
+		m, err := nvvp.ParseMetricsJSON([]byte(trimmed))
+		if err != nil {
+			return nil, err
+		}
+		return m.Report(), nil
+	}
+	return nvvp.Parse(text)
+}
+
+// writeQueryError maps CachedQuery errors onto status codes: unknown advisor
+// → 404, overload → 429, deadline → 503, anything else → 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownAdvisor):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request timed out")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// render to a buffer first so marshal errors become clean 500s
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = buf.WriteTo(w)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

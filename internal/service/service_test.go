@@ -1,0 +1,383 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/nvvp"
+)
+
+var (
+	e2eOnce sync.Once
+	e2eAdv  *core.Advisor
+)
+
+// e2eAdvisor builds one moderately sized CUDA advisor for the whole test
+// package (Stage I over the corpus is the expensive part).
+func e2eAdvisor(t testing.TB) *core.Advisor {
+	t.Helper()
+	e2eOnce.Do(func() {
+		g := corpus.GenerateSized(corpus.CUDA, 150, 0.3, 7)
+		e2eAdv = core.New().BuildFromSentences(g.Doc, g.Sentences)
+	})
+	return e2eAdv
+}
+
+func newTestService(t testing.TB, opts Options) (*Service, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Add("cuda", e2eAdvisor(t))
+	svc := New(reg, opts)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestEndpoints(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+
+	t.Run("healthz", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/healthz")
+		if code != 200 || !strings.Contains(string(body), "ok") {
+			t.Errorf("healthz %d %q", code, body)
+		}
+	})
+	t.Run("readyz", func(t *testing.T) {
+		code, _ := get(t, ts.URL+"/readyz")
+		if code != 200 {
+			t.Errorf("readyz %d, want 200 with populated registry", code)
+		}
+	})
+	t.Run("advisors", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/v1/advisors")
+		if code != 200 {
+			t.Fatalf("advisors %d", code)
+		}
+		var infos []AdvisorInfo
+		if err := json.Unmarshal(body, &infos); err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 1 || infos[0].Name != "cuda" || infos[0].Rules == 0 ||
+			infos[0].Sentences != 150 || infos[0].BuiltAt.IsZero() {
+			t.Errorf("advisors %+v", infos)
+		}
+	})
+	t.Run("rules", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/v1/cuda/rules")
+		if code != 200 {
+			t.Fatalf("rules %d", code)
+		}
+		var resp RulesResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Advisor != "cuda" || resp.Count == 0 || len(resp.Rules) != resp.Count {
+			t.Errorf("rules %+v", resp)
+		}
+		for _, r := range resp.Rules[:1] {
+			if r.Text == "" || r.Selector == "" {
+				t.Errorf("rule %+v missing fields", r)
+			}
+		}
+	})
+	t.Run("query", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/v1/cuda/query?q=how+to+reduce+memory+latency")
+		if code != 200 {
+			t.Fatalf("query %d %s", code, body)
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Advisor != "cuda" || resp.Count != len(resp.Answers) {
+			t.Errorf("query %+v", resp)
+		}
+	})
+	t.Run("query cache header", func(t *testing.T) {
+		resp1, err := http.Get(ts.URL + "/v1/cuda/query?q=warp+divergence+in+control+flow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp1.Body)
+		resp1.Body.Close()
+		resp2, err := http.Get(ts.URL + "/v1/cuda/query?q=warp+divergence+in+control+flow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp2.Body)
+		resp2.Body.Close()
+		if resp1.Header.Get("X-Cache") != "miss" || resp2.Header.Get("X-Cache") != "hit" {
+			t.Errorf("X-Cache %q then %q, want miss then hit",
+				resp1.Header.Get("X-Cache"), resp2.Header.Get("X-Cache"))
+		}
+	})
+	t.Run("query missing q", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/v1/cuda/query")
+		if code != http.StatusBadRequest || !strings.Contains(string(body), "missing query") {
+			t.Errorf("no-q: %d %s", code, body)
+		}
+	})
+	t.Run("unknown advisor", func(t *testing.T) {
+		for _, path := range []string{"/v1/fortran/rules", "/v1/fortran/query?q=x"} {
+			if code, _ := get(t, ts.URL+path); code != http.StatusNotFound {
+				t.Errorf("%s: %d, want 404", path, code)
+			}
+		}
+	})
+	t.Run("report", func(t *testing.T) {
+		text, err := nvvp.Synthesize("norm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/cuda/report", "text/plain", strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("report %d %s", resp.StatusCode, body)
+		}
+		var rr ReportResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Advisor != "cuda" || len(rr.Issues) == 0 {
+			t.Errorf("report %+v", rr)
+		}
+	})
+	t.Run("report bad body", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/cuda/report", "text/plain", strings.NewReader("not a report"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad report %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("statsz", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/statsz")
+		if code != 200 {
+			t.Fatalf("statsz %d", code)
+		}
+		var snap StatsSnapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Requests == 0 || snap.Advisors != 1 {
+			t.Errorf("statsz %+v", snap)
+		}
+	})
+}
+
+// TestConcurrentHammer drives the JSON API with 32 goroutines mixing
+// repeated and unique queries, asserting: no 5xx, cache hits observed, and
+// byte-identical bodies for identical queries. Run under -race in CI.
+func TestConcurrentHammer(t *testing.T) {
+	svc, ts := newTestService(t, Options{CacheSize: 256, MaxInFlight: 16, Timeout: 10 * time.Second})
+
+	repeated := []string{
+		"how to reduce global memory latency",
+		"avoid divergent warps in control flow",
+		"improve occupancy of the kernel",
+		"coalesce global memory accesses",
+	}
+	const (
+		goroutines = 32
+		perG       = 30
+	)
+	var mu sync.Mutex
+	bodies := map[string]string{} // query -> first body seen
+	var badStatus []string
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: goroutines}}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var q string
+				if i%3 == 0 { // a third unique, the rest repeated
+					q = fmt.Sprintf("unique question %d from goroutine %d about latency", i, g)
+				} else {
+					q = repeated[(g+i)%len(repeated)]
+				}
+				resp, err := client.Get(ts.URL + "/v1/cuda/query?q=" + strings.ReplaceAll(q, " ", "+"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if resp.StatusCode >= 500 {
+					badStatus = append(badStatus, fmt.Sprintf("%d for %q", resp.StatusCode, q))
+				}
+				if prev, ok := bodies[q]; ok {
+					if prev != string(body) {
+						t.Errorf("response for %q changed between requests", q)
+					}
+				} else {
+					bodies[q] = string(body)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if len(badStatus) > 0 {
+		t.Fatalf("5xx responses under load: %v", badStatus[:min(5, len(badStatus))])
+	}
+	snap := svc.Stats()
+	if snap.CacheHits == 0 {
+		t.Error("no cache hits after hammering repeated queries")
+	}
+	if snap.CacheMisses == 0 {
+		t.Error("no cache misses recorded")
+	}
+	if snap.Requests < goroutines*perG {
+		t.Errorf("requests %d < %d issued", snap.Requests, goroutines*perG)
+	}
+	t.Logf("hammer: %d requests, %d hits, %d misses, %d evictions, p50 %dµs p99 %dµs",
+		snap.Requests, snap.CacheHits, snap.CacheMisses, snap.Evictions,
+		snap.QueryP50Micros, snap.QueryP99Micros)
+}
+
+func TestAdmissionRejectsOverload(t *testing.T) {
+	svc, ts := newTestService(t, Options{MaxInFlight: 1, MaxQueue: 1})
+	// occupy the only worker slot directly, then saturate the queue
+	if err := svc.admit.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		queued <- svc.admit.Acquire(ctx)
+	}()
+	for i := 0; svc.admit.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// worker busy + queue full -> the HTTP path must shed with 429
+	resp, err := http.Get(ts.URL + "/v1/cuda/query?q=memory+latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded query: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	svc.admit.Release() // admit the queued waiter
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	svc.admit.Release()
+	if svc.Stats().Rejected == 0 {
+		t.Error("rejection not counted in stats")
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	svc, _ := newTestService(t, Options{MaxInFlight: 1, MaxQueue: 1, Timeout: 10 * time.Millisecond})
+	// hold the worker slot so the query waits in the queue past its deadline
+	if err := svc.admit.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.admit.Release()
+	_, _, err := svc.CachedQuery(context.Background(), "cuda", "memory latency")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+}
+
+func TestReloadInvalidatesCache(t *testing.T) {
+	svc, ts := newTestService(t, Options{})
+	q := "/v1/cuda/query?q=shared+memory+bank+conflicts"
+	get(t, ts.URL+q) // populate
+	resp, _ := http.Get(ts.URL + q)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatal("expected a cache hit before reload")
+	}
+	// hot-swap with a differently seeded guide
+	g := corpus.GenerateSized(corpus.CUDA, 150, 0.3, 8)
+	next := core.New().BuildFromSentences(g.Doc, g.Sentences)
+	diff := svc.Reload("cuda", next)
+	if len(diff.Added)+len(diff.Removed) == 0 {
+		t.Log("note: reload produced no rule churn (unusual but not wrong)")
+	}
+	resp2, _ := http.Get(ts.URL + q)
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Cache") != "miss" {
+		t.Error("cache must miss after hot-swap invalidation")
+	}
+	if got, _ := svc.Registry().Get("cuda"); got != next {
+		t.Error("registry did not swap")
+	}
+}
+
+func TestDrainFlipsReadyz(t *testing.T) {
+	svc, ts := newTestService(t, Options{})
+	if code, _ := get(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz %d before drain", code)
+	}
+	svc.BeginDrain()
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz %d after BeginDrain, want 503", code)
+	}
+	// draining sheds new LB traffic but keeps serving requests already routed
+	if code, _ := get(t, ts.URL+"/v1/cuda/query?q=memory+latency"); code != 200 {
+		t.Errorf("query during drain: %d, want 200", code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Errorf("healthz during drain: %d (process is still alive)", code)
+	}
+}
+
+func TestReadyzEmptyRegistry(t *testing.T) {
+	svc := New(NewRegistry(), Options{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("empty registry readyz %d, want 503", code)
+	}
+}

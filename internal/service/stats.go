@@ -1,0 +1,105 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRingSize is how many recent request latencies each ring retains for
+// percentile estimation. A power of two keeps the modulo cheap.
+const latencyRingSize = 1024
+
+// latencyRing is a fixed-size ring of recent latencies. Percentiles are
+// computed over whatever the ring currently holds — an estimate over the
+// last latencyRingSize requests, which is exactly what an operations
+// dashboard wants from /statsz.
+type latencyRing struct {
+	mu     sync.Mutex
+	buf    [latencyRingSize]time.Duration
+	next   int
+	filled int
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % latencyRingSize
+	if r.filled < latencyRingSize {
+		r.filled++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns the p-quantiles (0 <= p <= 1) of the ring's contents,
+// zero when empty.
+func (r *latencyRing) percentiles(ps ...float64) []time.Duration {
+	r.mu.Lock()
+	snap := make([]time.Duration, r.filled)
+	copy(snap, r.buf[:r.filled])
+	r.mu.Unlock()
+	out := make([]time.Duration, len(ps))
+	if len(snap) == 0 {
+		return out
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i, p := range ps {
+		idx := int(p * float64(len(snap)-1))
+		out[i] = snap[idx]
+	}
+	return out
+}
+
+// Stats aggregates the service's operational counters. All fields are safe
+// for concurrent use; Snapshot produces the /statsz view.
+type Stats struct {
+	requests   atomic.Int64 // requests entering any /v1 handler
+	hits       atomic.Int64 // cache hits (incl. single-flight shared results)
+	misses     atomic.Int64 // cache misses that ran retrieval
+	evictions  atomic.Int64 // LRU evictions
+	rejected   atomic.Int64 // 429s from admission control
+	timeouts   atomic.Int64 // requests cancelled by the per-request deadline
+	errors5xx  atomic.Int64 // responses with status >= 500
+	inFlight   atomic.Int64 // requests currently inside a /v1 handler
+	queryRing  latencyRing  // latency of /v1/{advisor}/query
+	reportRing latencyRing  // latency of /v1/{advisor}/report
+}
+
+// StatsSnapshot is the JSON shape served on /statsz.
+type StatsSnapshot struct {
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Evictions   int64 `json:"evictions"`
+	Rejected    int64 `json:"rejected"`
+	Timeouts    int64 `json:"timeouts"`
+	Errors5xx   int64 `json:"errors_5xx"`
+	InFlight    int64 `json:"in_flight"`
+	CacheSize   int   `json:"cache_size"`
+	Advisors    int   `json:"advisors"`
+
+	QueryP50Micros  int64 `json:"query_p50_micros"`
+	QueryP99Micros  int64 `json:"query_p99_micros"`
+	ReportP50Micros int64 `json:"report_p50_micros"`
+	ReportP99Micros int64 `json:"report_p99_micros"`
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	qp := s.queryRing.percentiles(0.50, 0.99)
+	rp := s.reportRing.percentiles(0.50, 0.99)
+	return StatsSnapshot{
+		Requests:        s.requests.Load(),
+		CacheHits:       s.hits.Load(),
+		CacheMisses:     s.misses.Load(),
+		Evictions:       s.evictions.Load(),
+		Rejected:        s.rejected.Load(),
+		Timeouts:        s.timeouts.Load(),
+		Errors5xx:       s.errors5xx.Load(),
+		InFlight:        s.inFlight.Load(),
+		QueryP50Micros:  qp[0].Microseconds(),
+		QueryP99Micros:  qp[1].Microseconds(),
+		ReportP50Micros: rp[0].Microseconds(),
+		ReportP99Micros: rp[1].Microseconds(),
+	}
+}

@@ -26,12 +26,20 @@ type entry struct {
 	weight float64
 }
 
+// posting is one inverted-index entry: a document containing a term, with the
+// term's normalized TF-IDF weight in that document.
+type posting struct {
+	doc    int32
+	weight float64
+}
+
 // Index is a TF-IDF weighted vector space over a fixed sentence set.
 type Index struct {
-	vocab map[string]int
-	idf   []float64
-	vecs  [][]entry // L2-normalized sparse vectors, sorted by term id
-	n     int       // number of sentences
+	vocab    map[string]int
+	idf      []float64
+	vecs     [][]entry   // L2-normalized sparse vectors, sorted by term id
+	postings [][]posting // per term id, ascending doc order
+	n        int         // number of sentences
 }
 
 // Match is one retrieval result.
@@ -88,7 +96,31 @@ func BuildFromTerms(termLists [][]string) *Index {
 	for i, terms := range termLists {
 		ix.vecs[i] = ix.vectorize(terms)
 	}
+	ix.buildPostings()
 	return ix
+}
+
+// buildPostings derives the inverted index from the document vectors. Each
+// term's posting list is in ascending document order because documents are
+// visited in order.
+func (ix *Index) buildPostings() {
+	counts := make([]int, len(ix.idf))
+	for _, vec := range ix.vecs {
+		for _, e := range vec {
+			counts[e.term]++
+		}
+	}
+	ix.postings = make([][]posting, len(ix.idf))
+	for t, c := range counts {
+		if c > 0 {
+			ix.postings[t] = make([]posting, 0, c)
+		}
+	}
+	for d, vec := range ix.vecs {
+		for _, e := range vec {
+			ix.postings[e.term] = append(ix.postings[e.term], posting{doc: int32(d), weight: e.weight})
+		}
+	}
 }
 
 // vectorize converts a term list into a normalized sparse TF-IDF vector.
@@ -101,14 +133,20 @@ func (ix *Index) vectorize(terms []string) []entry {
 		}
 	}
 	vec := make([]entry, 0, len(tf))
-	var norm float64
 	for id, f := range tf {
 		w := f * ix.idf[id]
 		if w == 0 {
 			continue
 		}
 		vec = append(vec, entry{term: id, weight: w})
-		norm += w * w
+	}
+	// sort before accumulating the norm: map iteration order is random, and
+	// summing in term order keeps vectorization bit-deterministic across
+	// calls (identical queries must produce identical vectors and scores)
+	sort.Slice(vec, func(a, b int) bool { return vec[a].term < vec[b].term })
+	var norm float64
+	for i := range vec {
+		norm += vec[i].weight * vec[i].weight
 	}
 	if norm > 0 {
 		norm = math.Sqrt(norm)
@@ -116,7 +154,6 @@ func (ix *Index) vectorize(terms []string) []entry {
 			vec[i].weight /= norm
 		}
 	}
-	sort.Slice(vec, func(a, b int) bool { return vec[a].term < vec[b].term })
 	return vec
 }
 
@@ -168,11 +205,55 @@ func (ix *Index) Similarity(i int, query string) float64 {
 
 // Query returns every sentence whose similarity to the query is at least
 // threshold, sorted by descending score (ties by ascending index).
+//
+// For positive thresholds it walks the inverted index, scoring only the
+// documents that share at least one term with the query; a document sharing
+// no term has similarity exactly 0 and cannot clear the threshold. Scores are
+// bit-identical to the dense scan: both accumulate the products of shared
+// terms in ascending term order. A threshold <= 0 admits zero-score
+// documents, so that case falls back to the dense scan.
 func (ix *Index) Query(query string, threshold float64) []Match {
 	qv := ix.QueryVector(query)
 	if len(qv) == 0 {
 		return nil
 	}
+	if threshold <= 0 {
+		return ix.denseScan(qv, threshold)
+	}
+	scores := make([]float64, ix.n)
+	seen := make([]bool, ix.n)
+	touched := make([]int32, 0, 64)
+	for _, q := range qv {
+		for _, p := range ix.postings[q.term] {
+			if !seen[p.doc] {
+				seen[p.doc] = true
+				touched = append(touched, p.doc)
+			}
+			scores[p.doc] += q.weight * p.weight
+		}
+	}
+	var out []Match
+	for _, d := range touched {
+		if s := scores[d]; s >= threshold {
+			out = append(out, Match{Index: int(d), Score: s})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// QueryDense is Query without the inverted-index fast path: it scores every
+// document with a sparse dot product (ablation baseline and equivalence
+// reference).
+func (ix *Index) QueryDense(query string, threshold float64) []Match {
+	qv := ix.QueryVector(query)
+	if len(qv) == 0 {
+		return nil
+	}
+	return ix.denseScan(qv, threshold)
+}
+
+func (ix *Index) denseScan(qv []entry, threshold float64) []Match {
 	var out []Match
 	for i, v := range ix.vecs {
 		if s := dot(v, qv); s >= threshold {

@@ -21,6 +21,7 @@ type Server struct {
 	advisor *core.Advisor
 	title   string
 	mux     *http.ServeMux
+	querier func(q string) []core.Answer // optional shared retrieval path
 }
 
 // New creates a Server for an advisor. title labels the pages
@@ -32,6 +33,19 @@ func New(advisor *core.Advisor, title string) *Server {
 	s.mux.HandleFunc("/report", s.handleReport)
 	s.mux.HandleFunc("/doc", s.handleDoc)
 	return s
+}
+
+// SetQuerier routes retrieval through f instead of calling the advisor
+// directly — the hook that lets the HTML UI share a serving layer's query
+// cache and admission control. Call before serving traffic.
+func (s *Server) SetQuerier(f func(q string) []core.Answer) { s.querier = f }
+
+// query answers q through the shared querier when one is installed.
+func (s *Server) query(q string) []core.Answer {
+	if s.querier != nil {
+		return s.querier(q)
+	}
+	return s.advisor.Query(q)
 }
 
 // ServeHTTP implements http.Handler.
@@ -165,7 +179,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Redirect(w, r, "/", http.StatusSeeOther)
 		return
 	}
-	answers := s.advisor.Query(q)
+	answers := s.query(q)
 	data := struct {
 		Title  string
 		Blocks []answerBlock
@@ -198,8 +212,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var blocks []answerBlock
-	for _, ra := range s.advisor.AnswerReport(report) {
-		blocks = append(blocks, s.answersToBlock("Issue: "+ra.Issue.Title, ra.Answers))
+	for _, issue := range report.Issues() {
+		// each issue is answered through the shared query path, so report
+		// uploads also benefit from (and warm) the serving cache
+		blocks = append(blocks, s.answersToBlock("Issue: "+issue.Title, s.query(issue.Query())))
 	}
 	if len(blocks) == 0 {
 		blocks = []answerBlock{{Heading: "Report " + report.Program, Empty: true}}

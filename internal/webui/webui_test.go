@@ -216,3 +216,40 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestSetQuerierRoutesRetrieval(t *testing.T) {
+	s := testServer(t)
+	var got []string
+	s.SetQuerier(func(q string) []core.Answer {
+		got = append(got, q)
+		return []core.Answer{{
+			Sentence: core.AdvisingSentence{Index: 0, Text: "use the shared path"},
+			Score:    0.99,
+		}}
+	})
+	req := httptest.NewRequest("GET", "/query?q="+url.QueryEscape("memory latency"), nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "use the shared path") {
+		t.Fatalf("querier answer not rendered: %d", rec.Code)
+	}
+	if len(got) != 1 || got[0] != "memory latency" {
+		t.Errorf("querier saw %v", got)
+	}
+	// report issues must flow through the same path
+	text, err := nvvp.Synthesize("norm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	form := url.Values{"report": {text}}
+	req = httptest.NewRequest("POST", "/report", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("report status %d", rec.Code)
+	}
+	if len(got) < 2 {
+		t.Errorf("report issues did not go through the querier: %v", got)
+	}
+}
