@@ -1,5 +1,5 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check vet build test race bench serve
+.PHONY: check vet build test race bench bench-all serve
 
 check: ## vet + build + race-enabled tests (the tier-1 gate)
 	go vet ./...
@@ -18,8 +18,14 @@ test:
 race:
 	go test -race ./...
 
-bench: ## per-table benchmarks + serving/index ablations
-	go test -bench=. -benchmem ./...
+# Trajectory benchmarks: the fixed-size numbers tracked across PRs.
+# Flags are pinned so results stay comparable between runs.
+BENCH_TRACKED = BenchmarkBuildAdvisor150|BenchmarkAnnotateOnce|BenchmarkServiceQuery
+bench: ## cross-PR trajectory benchmarks (build pipeline, annotate-once, serving)
+	go test -run '^$$' -bench '$(BENCH_TRACKED)' -benchmem -count 1 .
+
+bench-all: ## full sweep: per-table benchmarks + serving/index ablations
+	go test -run '^$$' -bench . -benchmem ./...
 
 serve: ## run the advising service with all three built-in guides
 	go run ./cmd/egeria -corpus cuda -corpora opencl,xeon serve -addr :8080

@@ -15,6 +15,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/depparse"
 	"repro/internal/experiments"
+	"repro/internal/nlp"
 	"repro/internal/nvvp"
 	"repro/internal/postag"
 	"repro/internal/selectors"
@@ -337,6 +338,54 @@ func BenchmarkDiffRules(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.DiffRules(a1, a2)
 	}
+}
+
+// --- build pipeline (trajectory benchmark) ---------------------------------
+
+// BenchmarkBuildAdvisor150 is the fixed-size build benchmark tracked across
+// PRs: full advisor synthesis (Stage I + index) over a 150-sentence guide.
+func BenchmarkBuildAdvisor150(b *testing.B) {
+	g := corpus.GenerateSized(corpus.CUDA, 150, 0.2, 17)
+	fw := core.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.BuildFromSentences(g.Doc, g.Sentences)
+	}
+}
+
+// BenchmarkAnnotateOnce measures what the shared-annotation pipeline buys:
+// "recompute" runs classification and indexing the pre-refactor way, each
+// stage re-deriving tokens/stems/trees from the raw strings; "shared"
+// annotates every sentence once and feeds the same annotation to both
+// stages. Same corpus, same outputs — only the redundant NLP work differs.
+func BenchmarkAnnotateOnce(b *testing.B) {
+	g := corpus.GenerateSized(corpus.CUDA, 150, 0.2, 17)
+	texts := g.Texts()
+	rec := selectors.Default()
+
+	b.Run("recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range texts {
+				rec.ClassifyParsed(depparse.ParseText(s))
+			}
+			vsm.Build(texts)
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		ator := nlp.NewAnnotator(nlp.WithParallelism(1)) // serial, like recompute
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			anns := ator.AnnotateAll(texts)
+			terms := make([][]string, len(anns))
+			for j, ann := range anns {
+				rec.ClassifyAnnotated(ann)
+				terms[j] = ann.Terms()
+			}
+			vsm.BuildFromTerms(terms)
+		}
+	})
 }
 
 // --- document-size scaling -------------------------------------------------

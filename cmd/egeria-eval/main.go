@@ -34,6 +34,10 @@ func main() {
 	var cudaAdvisor *core.Advisor
 	if want(4) || want(5) || want(6) || *ablations {
 		cudaGuide, cudaAdvisor = experiments.BuildAdvisor(corpus.CUDA)
+		if *table == 0 {
+			fmt.Println(experiments.FormatBuildStats("CUDA", cudaAdvisor))
+			fmt.Println()
+		}
 	}
 
 	if want(3) {

@@ -317,8 +317,9 @@ func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serve
 func cmdRules(a *core.Advisor) {
 	rules := a.Rules()
 	st := a.BuildStats()
-	fmt.Printf("%d advising sentences out of %d (ratio %.1f); Stage I %v, indexing %v\n",
-		len(rules), a.SentenceCount(), a.CompressionRatio(), st.StageI.Round(time.Millisecond), st.Indexing.Round(time.Millisecond))
+	fmt.Printf("%d advising sentences out of %d (ratio %.1f); annotate %v, classify %v, index %v\n",
+		len(rules), a.SentenceCount(), a.CompressionRatio(),
+		st.Annotate.Round(time.Millisecond), st.Classify.Round(time.Millisecond), st.Indexing.Round(time.Millisecond))
 	for _, sel := range []selectors.SelectorID{selectors.Keyword, selectors.Comparative, selectors.Imperative, selectors.Subject, selectors.Purpose} {
 		if n := st.BySelector[sel]; n > 0 {
 			fmt.Printf("  %-28s %d\n", sel, n)

@@ -9,7 +9,7 @@ package baselines
 import (
 	"strings"
 
-	"repro/internal/depparse"
+	"repro/internal/nlp"
 	"repro/internal/selectors"
 	"repro/internal/textproc"
 )
@@ -90,12 +90,13 @@ func KeywordAllRecognize(cfg selectors.Config, sentences []string) []bool {
 }
 
 // SingleSelectorRecognize runs only the k-th selector (1-5) over the
-// sentences — the per-selector rows of Table 8. Parses each sentence once.
+// sentences — the per-selector rows of Table 8. Annotates each sentence
+// once; callers running several selectors over the same sentences should
+// annotate once themselves and use Recognizer.SelectorAnnotated.
 func SingleSelectorRecognize(rec *selectors.Recognizer, k int, sentences []string) []bool {
 	out := make([]bool, len(sentences))
 	for i, s := range sentences {
-		tree := depparse.ParseText(s)
-		out[i] = rec.SelectorTree(k, tree)
+		out[i] = rec.SelectorAnnotated(k, nlp.Annotate(s))
 	}
 	return out
 }

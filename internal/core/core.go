@@ -13,16 +13,23 @@
 //
 // Stage I is embarrassingly parallel over sentences and fans out across
 // GOMAXPROCS goroutines by default.
+//
+// Building is a staged annotate-once pipeline: every sentence is annotated
+// exactly once (tokenize, POS-tag, parse, stem — see internal/nlp), the
+// selectors classify the shared annotations, and the TF-IDF index is built
+// from the annotations' term lists, so no layer re-tokenizes, re-stems or
+// re-parses another layer's work.
 package core
 
 import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/depparse"
 	"repro/internal/htmldoc"
+	"repro/internal/nlp"
 	"repro/internal/nvvp"
 	"repro/internal/selectors"
 	"repro/internal/vsm"
@@ -33,6 +40,7 @@ import (
 type Framework struct {
 	cfg         selectors.Config
 	recognizer  *selectors.Recognizer
+	annotator   *nlp.Annotator
 	threshold   float64
 	parallelism int
 }
@@ -66,6 +74,7 @@ func New(opts ...Option) *Framework {
 		o(f)
 	}
 	f.recognizer = selectors.New(f.cfg)
+	f.annotator = nlp.NewAnnotator(nlp.WithParallelism(f.parallelism))
 	return f
 }
 
@@ -84,12 +93,15 @@ type AdvisingSentence struct {
 	Selector selectors.SelectorID
 }
 
-// BuildStats describes what Stage I did to a document.
+// BuildStats describes what the build pipeline did to a document, with
+// per-stage timings for the three stages of the annotate-once pipeline.
 type BuildStats struct {
 	Sentences  int
 	Advising   int
 	BySelector map[selectors.SelectorID]int
-	StageI     time.Duration // recognition (NLP) time
+	Annotate   time.Duration // annotation time (tokenize, tag, parse, stem)
+	Classify   time.Duration // selector time over the shared annotations
+	StageI     time.Duration // total recognition time (Annotate + Classify)
 	Indexing   time.Duration // TF-IDF index construction time
 }
 
@@ -138,6 +150,13 @@ func (f *Framework) BuildFromDocument(doc *htmldoc.Document) *Advisor {
 // BuildFromSentences synthesizes an advisor from pre-split sentences (the
 // path used by the synthetic corpora, whose ground-truth labels align with
 // exactly these sentence boundaries). doc may be nil.
+//
+// The build is a three-stage annotate-once pipeline: (1) annotate every
+// sentence in parallel, (2) classify the shared annotations, (3) build the
+// TF-IDF index from the annotations' term lists. The index is bit-exact
+// with one built from the raw texts (the annotation terms equal
+// textproc.NormalizeTerms), but tokenization and stemming run once per
+// sentence instead of twice.
 func (f *Framework) BuildFromSentences(doc *htmldoc.Document, sents []htmldoc.Sentence) *Advisor {
 	a := &Advisor{
 		doc:       doc,
@@ -150,9 +169,22 @@ func (f *Framework) BuildFromSentences(doc *htmldoc.Document, sents []htmldoc.Se
 			BySelector: map[selectors.SelectorID]int{},
 		},
 	}
+	texts := make([]string, len(sents))
+	for i, s := range sents {
+		texts[i] = s.Text
+	}
+
+	// stage 1: annotate (tokenize, tag, parse, stem) each sentence once
 	start := time.Now()
-	results := f.classifyAll(sents)
-	a.stats.StageI = time.Since(start)
+	anns := f.annotator.AnnotateAll(texts)
+	a.stats.Annotate = time.Since(start)
+
+	// stage 2: classify the shared annotations
+	start = time.Now()
+	results := f.classifyAnnotated(anns)
+	a.stats.Classify = time.Since(start)
+	a.stats.StageI = a.stats.Annotate + a.stats.Classify
+
 	for i, res := range results {
 		if !res.Advising {
 			continue
@@ -171,15 +203,17 @@ func (f *Framework) BuildFromSentences(doc *htmldoc.Document, sents []htmldoc.Se
 		})
 	}
 	a.stats.Advising = len(a.advising)
-	// the TF-IDF model is built over the whole document (as the artifact
-	// describes) so term weights reflect corpus-wide statistics; Stage II
-	// then restricts matches to the advising subset.
-	texts := make([]string, len(sents))
-	for i, s := range sents {
-		texts[i] = s.Text
-	}
+
+	// stage 3: the TF-IDF model is built over the whole document (as the
+	// artifact describes) so term weights reflect corpus-wide statistics;
+	// Stage II then restricts matches to the advising subset. The term
+	// lists come from the annotations, so the text is not re-tokenized.
 	start = time.Now()
-	a.index = vsm.Build(texts)
+	terms := make([][]string, len(anns))
+	for i, an := range anns {
+		terms[i] = an.Terms()
+	}
+	a.index = vsm.BuildFromTerms(terms)
 	a.stats.Indexing = time.Since(start)
 	return a
 }
@@ -196,42 +230,40 @@ func (a *Advisor) BuildStats() BuildStats {
 	return out
 }
 
-// classifyAll runs Stage I over all sentences, parallel across workers.
-func (f *Framework) classifyAll(sents []htmldoc.Sentence) []selectors.Result {
-	n := len(sents)
+// classifyAnnotated runs the selectors over all annotations, parallel
+// across workers. Work is distributed by an atomic counter rather than a
+// pre-filled channel: claiming an index is one atomic add instead of a
+// channel receive, and no O(n) channel fill precedes the fan-out.
+func (f *Framework) classifyAnnotated(anns []*nlp.Annotation) []selectors.Result {
+	n := len(anns)
 	out := make([]selectors.Result, n)
 	workers := f.parallelism
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := range sents {
-			out[i] = f.classifyOne(sents[i].Text)
+		for i, an := range anns {
+			out[i] = f.recognizer.ClassifyAnnotated(an)
 		}
 		return out
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				out[i] = f.classifyOne(sents[i].Text)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = f.recognizer.ClassifyAnnotated(anns[i])
 			}
 		}()
 	}
 	wg.Wait()
 	return out
-}
-
-func (f *Framework) classifyOne(text string) selectors.Result {
-	tree := depparse.ParseText(text)
-	return f.recognizer.ClassifyParsed(tree)
 }
 
 // Rules returns the Stage-I output: the concise list of advising sentences
@@ -290,19 +322,27 @@ func (a *Advisor) Query(q string) []Answer {
 
 // QueryWithThreshold is Query with an explicit similarity threshold.
 func (a *Advisor) QueryWithThreshold(q string, threshold float64) []Answer {
-	scores := a.index.QueryAll(q)
+	return a.QueryTermsWithThreshold(nlp.QueryTerms(q), threshold)
+}
+
+// QueryTerms answers a pre-normalized query term list at the framework's
+// threshold — the annotation-fed path: a serving layer that already
+// normalized the query (for cache keying, say) passes the terms straight
+// through instead of having retrieval re-tokenize the text.
+func (a *Advisor) QueryTerms(terms []string) []Answer {
+	return a.QueryTermsWithThreshold(terms, a.threshold)
+}
+
+// QueryTermsWithThreshold is QueryTerms with an explicit threshold.
+func (a *Advisor) QueryTermsWithThreshold(terms []string, threshold float64) []Answer {
+	scores := a.index.QueryAllTerms(terms)
 	var out []Answer
 	for _, adv := range a.advising {
 		if s := scores[adv.Index]; s >= threshold {
 			out = append(out, Answer{Sentence: adv, Score: s})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Sentence.Index < out[j].Sentence.Index
-	})
+	sortAnswers(out)
 	return out
 }
 
@@ -328,13 +368,18 @@ func (a *Advisor) FullDocQuery(q string, threshold float64) []Answer {
 			Score:    s,
 		})
 	}
+	sortAnswers(out)
+	return out
+}
+
+// sortAnswers orders answers best-first, ties broken by document order.
+func sortAnswers(out []Answer) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Sentence.Index < out[j].Sentence.Index
 	})
-	return out
 }
 
 // ReportAnswer pairs one profiler issue with its recommendations.
@@ -358,8 +403,15 @@ func (a *Advisor) AnswerReport(r *nvvp.Report) []ReportAnswer {
 
 // ContextOf returns the other advising sentences sharing the section of the
 // given answer — the tool's "other advising sentences in the same
-// subsections" view (Fig. 4).
+// subsections" view (Fig. 4). When the answer's section is unknown (an
+// advisor built from bare sentences has no section structure), there is no
+// meaningful "same section" and nothing is returned — previously every
+// other advising sentence matched the empty section and the whole rule list
+// came back as context.
 func (a *Advisor) ContextOf(ans Answer) []AdvisingSentence {
+	if ans.Sentence.Section == "" {
+		return nil
+	}
 	var out []AdvisingSentence
 	for _, adv := range a.advising {
 		if adv.Section == ans.Sentence.Section && adv.Index != ans.Sentence.Index {

@@ -15,8 +15,8 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/depparse"
 	"repro/internal/eval"
+	"repro/internal/nlp"
 	"repro/internal/nvvp"
 	"repro/internal/selectors"
 	"repro/internal/study"
@@ -32,6 +32,16 @@ func BuildAdvisor(reg corpus.Register) (*corpus.Guide, *core.Advisor) {
 	g := corpus.Generate(reg, Seed)
 	adv := core.New().BuildFromSentences(g.Doc, g.Sentences)
 	return g, adv
+}
+
+// FormatBuildStats renders the per-stage timings of the annotate-once build
+// pipeline (annotate / classify / index) — the evaluation-harness view of
+// where synthesis time goes.
+func FormatBuildStats(name string, adv *core.Advisor) string {
+	st := adv.BuildStats()
+	return fmt.Sprintf(
+		"Build pipeline (%s): %d sentences -> %d rules; annotate %v, classify %v, index %v",
+		name, st.Sentences, st.Advising, st.Annotate, st.Classify, st.Indexing)
 }
 
 // --- Table 3 -------------------------------------------------------------
@@ -230,15 +240,13 @@ func computeRecognition(reg corpus.Register, cfg selectors.Config) *recognitionD
 		d.truth[i] = l.Advising
 	}
 	rec := selectors.New(cfg)
-	// parse every sentence once; all methods share the trees
-	trees := make([]*depparse.Tree, len(texts))
-	for i, s := range texts {
-		trees[i] = depparse.ParseText(s)
-	}
+	// annotate every sentence once; all methods share the annotations
+	// (selector 1 reuses the stems, selector 5 the cached purpose clauses)
+	anns := nlp.NewAnnotator().AnnotateAll(texts)
 	for k := 1; k <= 5; k++ {
 		pred := make([]bool, len(texts))
 		for i := range texts {
-			pred[i] = rec.SelectorTree(k, trees[i])
+			pred[i] = rec.SelectorAnnotated(k, anns[i])
 		}
 		d.perSel[k-1] = pred
 	}
@@ -371,10 +379,10 @@ func CategoryAttribution(reg corpus.Register, cfg selectors.Config) []Attributio
 			continue
 		}
 		row.Total++
-		tree := depparse.ParseText(texts[i])
+		ann := nlp.Annotate(texts[i])
 		any := false
 		for k := 1; k <= 5; k++ {
-			if rec.SelectorTree(k, tree) {
+			if rec.SelectorAnnotated(k, ann) {
 				row.BySelector[k-1]++
 				any = true
 			}

@@ -1,0 +1,206 @@
+// Package nlp is the shared representation layer between Egeria's NLP
+// passes: the annotate-once core. An Annotation carries everything the
+// multi-layered Stage-I analysis derives from one sentence — tokens, POS
+// tags, the dependency tree, Porter stems — plus lazily-computed products
+// (retrieval terms, SRL purpose clauses and frames, lowercased forms), each
+// materialized at most once and shared by every consumer.
+//
+// Before this layer existed, each downstream pass re-derived its inputs:
+// selector 1 re-tokenized and re-stemmed text the parser had already
+// tokenized, Explain re-parsed sentences Classify had just parsed, and the
+// TF-IDF index re-tokenized and re-stemmed the exact sentences Stage I had
+// processed. With Annotations, the per-sentence NLP cost is paid exactly
+// once regardless of how many layers consume the result.
+//
+// Annotations are safe for concurrent use: the eager fields are immutable
+// after construction and the lazy products are guarded by sync.Once.
+package nlp
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/depparse"
+	"repro/internal/postag"
+	"repro/internal/srl"
+	"repro/internal/textproc"
+)
+
+// Annotation is the full per-sentence analysis, produced once by an
+// Annotator and consumed by selectors, SRL, indexing and serving.
+type Annotation struct {
+	Index int    // sentence index within the source document (-1 standalone)
+	Text  string // the raw sentence text
+	Tree  *depparse.Tree
+	Stems []string // Porter stem of every token (aligned with Tree.Words)
+
+	lowerOnce sync.Once
+	lower     []string
+
+	termsOnce sync.Once
+	terms     []string
+
+	purposeOnce sync.Once
+	purposes    []srl.Purpose
+
+	framesOnce sync.Once
+	frames     []srl.Frame
+}
+
+// Tokens returns the sentence's word tokens (aliased, do not mutate).
+func (a *Annotation) Tokens() []string { return a.Tree.Words }
+
+// Tags returns the POS tags, aligned with Tokens.
+func (a *Annotation) Tags() []postag.Tag { return a.Tree.Tags }
+
+// Lower returns the lowercased token forms, computed on first use.
+func (a *Annotation) Lower() []string {
+	a.lowerOnce.Do(func() {
+		a.lower = make([]string, len(a.Tree.Words))
+		for i, w := range a.Tree.Words {
+			a.lower[i] = strings.ToLower(w)
+		}
+	})
+	return a.lower
+}
+
+// Terms returns the sentence's retrieval term sequence: stopwords and
+// punctuation dropped, remaining tokens stemmed. It reuses the stems
+// computed at annotation time and is bit-exact with
+// textproc.NormalizeTerms(a.Text), so an index built from annotation terms
+// is identical to one built from the raw sentence texts.
+func (a *Annotation) Terms() []string {
+	a.termsOnce.Do(func() {
+		words := a.Tree.Words
+		terms := make([]string, 0, len(words))
+		for i, w := range words {
+			if textproc.IsStopword(w) || textproc.IsPunct(w) {
+				continue
+			}
+			terms = append(terms, a.Stems[i])
+		}
+		a.terms = terms
+	})
+	return a.terms
+}
+
+// Purposes returns the sentence's purpose clauses (SRL AM-PNC spans),
+// computed on first use and shared by selector 5 and Frames.
+func (a *Annotation) Purposes() []srl.Purpose {
+	a.purposeOnce.Do(func() {
+		a.purposes = srl.PurposeClauses(a.Tree)
+	})
+	return a.purposes
+}
+
+// Frames returns the sentence's predicate-argument frames, computed on
+// first use (reusing Purposes rather than re-scanning for them).
+func (a *Annotation) Frames() []srl.Frame {
+	a.framesOnce.Do(func() {
+		a.frames = srl.LabelWithPurposes(a.Tree, a.Purposes())
+	})
+	return a.frames
+}
+
+// Annotator produces Annotations. The zero value is usable; NewAnnotator
+// applies options. An Annotator is stateless after construction and safe
+// for concurrent use.
+type Annotator struct {
+	parallelism int
+}
+
+// Option configures an Annotator.
+type Option func(*Annotator)
+
+// WithParallelism fixes the AnnotateAll worker count (<=0 means
+// GOMAXPROCS, <=1 forces serial).
+func WithParallelism(n int) Option {
+	return func(a *Annotator) { a.parallelism = n }
+}
+
+// NewAnnotator creates an Annotator.
+func NewAnnotator(opts ...Option) *Annotator {
+	a := &Annotator{}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Annotate runs the eager layers (tokenize, POS-tag, dependency-parse,
+// stem) over one sentence; the remaining products are computed lazily.
+func (an *Annotator) Annotate(text string) *Annotation {
+	return annotate(-1, text)
+}
+
+// AnnotateAll annotates every sentence, fanning out across the annotator's
+// worker count. Work is distributed by an atomic counter (no per-item
+// channel operations) and out[i] always corresponds to texts[i].
+func (an *Annotator) AnnotateAll(texts []string) []*Annotation {
+	n := len(texts)
+	out := make([]*Annotation, n)
+	workers := an.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, t := range texts {
+			out[i] = annotate(i, t)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = annotate(i, texts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Annotate is the package-level convenience for one-off sentences.
+func Annotate(text string) *Annotation { return annotate(-1, text) }
+
+// FromTree wraps an already-parsed sentence in an Annotation (text may be
+// "" when only the tree is known; it is informational).
+func FromTree(text string, tree *depparse.Tree) *Annotation {
+	return &Annotation{
+		Index: -1,
+		Text:  text,
+		Tree:  tree,
+		Stems: textproc.StemAll(tree.Words),
+	}
+}
+
+// QueryTerms is the query-side annotation: the normalized term sequence
+// retrieval scores against (queries need no parse). It equals
+// textproc.NormalizeTerms and exists so serving layers normalize a query
+// exactly once and reuse the terms for cache keying and scoring.
+func QueryTerms(query string) []string {
+	return textproc.NormalizeTerms(query)
+}
+
+func annotate(idx int, text string) *Annotation {
+	tree := depparse.ParseText(text)
+	return &Annotation{
+		Index: idx,
+		Text:  text,
+		Tree:  tree,
+		Stems: textproc.StemAll(tree.Words),
+	}
+}

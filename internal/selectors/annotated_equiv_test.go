@@ -1,0 +1,84 @@
+package selectors
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/depparse"
+	"repro/internal/nlp"
+)
+
+// TestClassifyAnnotatedEquivalence is the golden pipeline-equivalence test:
+// over every sentence of the three synthetic corpora, the three
+// classification entry points — Classify (raw string), ClassifyParsed
+// (pre-parsed tree) and ClassifyAnnotated (shared annotation) — must make
+// the identical Stage-I decision, and each of the five selectors must agree
+// individually between its tree-fed and annotation-fed forms. Any drift
+// here means the annotate-once refactor changed what the paper's Stage I
+// selects.
+func TestClassifyAnnotatedEquivalence(t *testing.T) {
+	rec := Default()
+	for _, reg := range []corpus.Register{corpus.CUDA, corpus.OpenCL, corpus.XeonPhi} {
+		g := corpus.Generate(reg, 1)
+		for i, s := range g.Texts() {
+			tree := depparse.ParseText(s)
+			ann := nlp.Annotate(s)
+
+			fromString := rec.Classify(s)
+			fromTree := rec.ClassifyParsed(tree)
+			fromAnn := rec.ClassifyAnnotated(ann)
+			if fromString != fromTree || fromTree != fromAnn {
+				t.Errorf("%v sentence %d: Classify=%+v ClassifyParsed=%+v ClassifyAnnotated=%+v\n%q",
+					reg, i, fromString, fromTree, fromAnn, s)
+			}
+
+			for k := 1; k <= 5; k++ {
+				viaTree := rec.SelectorTree(k, tree)
+				viaAnn := rec.SelectorAnnotated(k, ann)
+				if viaTree != viaAnn {
+					t.Errorf("%v sentence %d selector %d: tree=%v annotated=%v\n%q",
+						reg, i, k, viaTree, viaAnn, s)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainAnnotatedEquivalence checks the evidence path the same way:
+// string-fed, tree-fed and annotation-fed Explain must produce identical
+// evidence lists.
+func TestExplainAnnotatedEquivalence(t *testing.T) {
+	rec := Default()
+	g := corpus.Generate(corpus.CUDA, 1)
+	for i, s := range g.Texts() {
+		fromString := rec.Explain(s)
+		fromTree := rec.ExplainParsed(depparse.ParseText(s))
+		fromAnn := rec.ExplainAnnotated(nlp.Annotate(s))
+		if len(fromString) != len(fromTree) || len(fromTree) != len(fromAnn) {
+			t.Fatalf("sentence %d: evidence counts differ: %d / %d / %d\n%q",
+				i, len(fromString), len(fromTree), len(fromAnn), s)
+		}
+		for j := range fromString {
+			if fromString[j] != fromTree[j] || fromTree[j] != fromAnn[j] {
+				t.Errorf("sentence %d evidence %d: %+v / %+v / %+v",
+					i, j, fromString[j], fromTree[j], fromAnn[j])
+			}
+		}
+	}
+}
+
+// TestClassifyAnnotatedRepeatable verifies that re-classifying the same
+// annotation (whose lazy products memoize) gives the same result.
+func TestClassifyAnnotatedRepeatable(t *testing.T) {
+	rec := Default()
+	g := corpus.GenerateSized(corpus.CUDA, 60, 0.3, 9)
+	for _, s := range g.Texts() {
+		ann := nlp.Annotate(s)
+		first := rec.ClassifyAnnotated(ann)
+		second := rec.ClassifyAnnotated(ann)
+		if first != second {
+			t.Fatalf("classification of a shared annotation is not stable: %+v then %+v (%q)",
+				first, second, s)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/depparse"
+	"repro/internal/nlp"
 	"repro/internal/srl"
 	"repro/internal/textproc"
 )
@@ -22,18 +23,24 @@ type Evidence struct {
 // (not just the first, unlike Classify). An empty slice means no selector
 // fires.
 func (r *Recognizer) Explain(sentence string) []Evidence {
-	tree := depparse.ParseText(sentence)
-	return r.ExplainParsed(tree)
+	return r.ExplainAnnotated(nlp.Annotate(sentence))
 }
 
 // ExplainParsed is Explain over a pre-parsed sentence.
 func (r *Recognizer) ExplainParsed(tree *depparse.Tree) []Evidence {
+	return r.ExplainAnnotated(nlp.FromTree("", tree))
+}
+
+// ExplainAnnotated is Explain over a shared annotation: the stems and
+// purpose clauses Classify already materialized are reused, so explaining a
+// classified sentence costs no additional NLP work.
+func (r *Recognizer) ExplainAnnotated(a *nlp.Annotation) []Evidence {
+	tree := a.Tree
 	var out []Evidence
 
 	// selector 1: first matching flagging phrase
-	stems := textproc.StemAll(tree.Words)
 	for pi, phrase := range r.flaggingPhrases {
-		if containsSubsequence(stems, phrase) {
+		if containsSubsequence(a.Stems, phrase) {
 			out = append(out, Evidence{
 				Selector: Keyword,
 				Detail:   fmt.Sprintf("flagging phrase %q", r.cfg.FlaggingWords[pi]),
@@ -87,7 +94,7 @@ func (r *Recognizer) ExplainParsed(tree *depparse.Tree) []Evidence {
 	}
 
 	// selector 5: the purpose clause and its predicate
-	for _, p := range srl.PurposeClauses(tree) {
+	for _, p := range a.Purposes() {
 		lemma := textproc.Lemma(tree.Words[p.Predicate], textproc.VerbClass)
 		if r.predicateLemmas[lemma] {
 			out = append(out, Evidence{

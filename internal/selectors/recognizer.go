@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/depparse"
+	"repro/internal/nlp"
 	"repro/internal/postag"
 	"repro/internal/srl"
 	"repro/internal/textproc"
@@ -98,37 +99,38 @@ func Default() *Recognizer { return New(DefaultConfig()) }
 // Config returns the configuration the recognizer was compiled from.
 func (r *Recognizer) Config() Config { return r.cfg }
 
-// Classify runs the five selectors in order on a raw sentence. Parsing is
-// performed once and shared by selectors 2-5.
-func (r *Recognizer) Classify(sentence string) Result {
-	if r.Selector1(sentence) {
+// ClassifyAnnotated runs the five selectors in order over a shared
+// annotation — the canonical classification path. Every layer it needs
+// (tokens, stems, tags, tree, purpose clauses) is read from the annotation,
+// so nothing is recomputed; the annotation's lazy products (purpose
+// clauses) are materialized at most once even across repeated calls.
+func (r *Recognizer) ClassifyAnnotated(a *nlp.Annotation) Result {
+	if r.selector1Stems(a.Stems) {
 		return Result{Advising: true, Selector: Keyword}
 	}
-	tree := depparse.ParseText(sentence)
-	return r.classifyTree(tree)
-}
-
-// ClassifyParsed is Classify for a pre-parsed sentence; the raw text for
-// selector 1 is reconstructed from the tokens.
-func (r *Recognizer) ClassifyParsed(tree *depparse.Tree) Result {
-	if r.selector1Tokens(tree.Words) {
-		return Result{Advising: true, Selector: Keyword}
-	}
-	return r.classifyTree(tree)
-}
-
-func (r *Recognizer) classifyTree(tree *depparse.Tree) Result {
 	switch {
-	case r.Selector2Tree(tree):
+	case r.Selector2Tree(a.Tree):
 		return Result{Advising: true, Selector: Comparative}
-	case r.Selector3Tree(tree):
+	case r.Selector3Tree(a.Tree):
 		return Result{Advising: true, Selector: Imperative}
-	case r.Selector4Tree(tree):
+	case r.Selector4Tree(a.Tree):
 		return Result{Advising: true, Selector: Subject}
-	case r.Selector5Tree(tree):
+	case r.selector5Annotated(a):
 		return Result{Advising: true, Selector: Purpose}
 	}
 	return Result{}
+}
+
+// Classify is ClassifyAnnotated for a raw sentence (thin shim: annotate,
+// then classify).
+func (r *Recognizer) Classify(sentence string) Result {
+	return r.ClassifyAnnotated(nlp.Annotate(sentence))
+}
+
+// ClassifyParsed is ClassifyAnnotated for a pre-parsed sentence (thin shim:
+// wrap the tree in an annotation).
+func (r *Recognizer) ClassifyParsed(tree *depparse.Tree) Result {
+	return r.ClassifyAnnotated(nlp.FromTree("", tree))
 }
 
 // Selector1 implements Rule 1: the sentence contains a flagging keyword
@@ -138,7 +140,13 @@ func (r *Recognizer) Selector1(sentence string) bool {
 }
 
 func (r *Recognizer) selector1Tokens(words []string) bool {
-	stems := textproc.StemAll(words)
+	return r.selector1Stems(textproc.StemAll(words))
+}
+
+// selector1Stems matches the flagging phrases against pre-stemmed tokens —
+// the annotation path, which shares the stems with Stage II's term
+// normalization instead of re-stemming.
+func (r *Recognizer) selector1Stems(stems []string) bool {
 	for _, phrase := range r.flaggingPhrases {
 		if containsSubsequence(stems, phrase) {
 			return true
@@ -240,6 +248,11 @@ func (r *Recognizer) Selector5Tree(tree *depparse.Tree) bool {
 	return srl.HasPurposeWithPredicate(tree, r.predicateLemmas)
 }
 
+// selector5Annotated is Rule 5 over the annotation's cached purpose clauses.
+func (r *Recognizer) selector5Annotated(a *nlp.Annotation) bool {
+	return srl.PurposesHavePredicate(a.Tree, a.Purposes(), r.predicateLemmas)
+}
+
 // SelectorTree dispatches to the k-th selector (1-based) over a parsed
 // sentence; used by the Table 8 ablation harness.
 func (r *Recognizer) SelectorTree(k int, tree *depparse.Tree) bool {
@@ -254,6 +267,26 @@ func (r *Recognizer) SelectorTree(k int, tree *depparse.Tree) bool {
 		return r.Selector4Tree(tree)
 	case 5:
 		return r.Selector5Tree(tree)
+	}
+	return false
+}
+
+// SelectorAnnotated dispatches to the k-th selector (1-based) over a shared
+// annotation, reusing its stems (selector 1) and cached purpose clauses
+// (selector 5) — the ablation harness path that keeps per-selector runs
+// from re-deriving each other's inputs.
+func (r *Recognizer) SelectorAnnotated(k int, a *nlp.Annotation) bool {
+	switch k {
+	case 1:
+		return r.selector1Stems(a.Stems)
+	case 2:
+		return r.Selector2Tree(a.Tree)
+	case 3:
+		return r.Selector3Tree(a.Tree)
+	case 4:
+		return r.Selector4Tree(a.Tree)
+	case 5:
+		return r.selector5Annotated(a)
 	}
 	return false
 }

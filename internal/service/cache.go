@@ -76,10 +76,15 @@ func NewCache(capacity, shards int, stats *Stats) *Cache {
 }
 
 // QueryKey derives the cache key for a query against a named advisor: the
-// normalized terms joined in order, prefixed by the advisor name. Returns
-// the key and the normalized form (useful for logging).
+// normalized terms joined in order, prefixed by the advisor name.
 func QueryKey(advisor, query string) string {
-	terms := textproc.NormalizeTerms(query)
+	return QueryKeyTerms(advisor, textproc.NormalizeTerms(query))
+}
+
+// QueryKeyTerms is QueryKey over an already-normalized query term list —
+// the annotate-once path: the serving layer normalizes each query exactly
+// once and reuses the terms for both the cache key and retrieval scoring.
+func QueryKeyTerms(advisor string, terms []string) string {
 	return advisor + "\x00" + strings.Join(terms, " ")
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/nlp"
 	"repro/internal/nvvp"
 )
 
@@ -179,7 +180,12 @@ func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers [
 		return nil, false, err
 	}
 	defer s.admit.Release()
-	key := QueryKey(advisor, q)
+	// annotate the query once: the normalized terms key the cache AND feed
+	// retrieval on a miss, so the query text is never tokenized twice —
+	// report answering (one CachedQuery per profiler issue) pays the query
+	// NLP exactly once per issue
+	terms := nlp.QueryTerms(q)
+	key := QueryKeyTerms(advisor, terms)
 	// run the lookup in a goroutine so an expired deadline returns promptly;
 	// the computation itself finishes and still populates the cache
 	type result struct {
@@ -190,7 +196,7 @@ func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers [
 	ch := make(chan result, 1)
 	go func() {
 		a, h, e := s.cache.GetOrCompute(key, func() ([]core.Answer, error) {
-			return adv.Query(q), nil
+			return adv.QueryTerms(terms), nil
 		})
 		ch <- result{a, h, e}
 	}()

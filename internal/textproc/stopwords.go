@@ -42,7 +42,14 @@ func RemoveStopwords(words []string) []string {
 // NormalizeTerms produces the canonical term sequence used by the retrieval
 // layer: tokenize, lowercase, drop stopwords and punctuation, Porter-stem.
 func NormalizeTerms(text string) []string {
-	words := Words(text)
+	return NormalizeWords(Words(text))
+}
+
+// NormalizeWords is NormalizeTerms over an already-tokenized sentence — the
+// path used when an upstream layer (the dependency parser, the annotation
+// pipeline) has tokenized the text and the term sequence must be bit-exact
+// with NormalizeTerms on the original string.
+func NormalizeWords(words []string) []string {
 	out := make([]string, 0, len(words))
 	for _, w := range words {
 		if IsStopword(w) || IsPunct(w) {

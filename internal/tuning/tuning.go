@@ -17,8 +17,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/depparse"
 	"repro/internal/eval"
+	"repro/internal/nlp"
 	"repro/internal/postag"
 	"repro/internal/selectors"
 	"repro/internal/textproc"
@@ -90,23 +90,21 @@ func Tune(cfg selectors.Config, sentences []string, labels []bool, opts Options)
 	}
 	opts.fill()
 
-	// parse once; configurations only change keyword sets, not parses
-	trees := make([]*depparse.Tree, len(sentences))
-	for i, s := range sentences {
-		trees[i] = depparse.ParseText(s)
-	}
+	// annotate once; configurations only change keyword sets, not parses,
+	// so every trial configuration scores against the same annotations
+	anns := nlp.NewAnnotator().AnnotateAll(sentences)
 
 	res := &Result{Config: cfg}
 	cur := cfg
-	curScore := scoreConfig(cur, trees, labels)
+	curScore := scoreConfig(cur, anns, labels)
 	res.Before = curScore
 
 	for len(res.Suggestions) < opts.MaxSuggestions {
-		fns := falseNegatives(cur, trees, labels)
+		fns := falseNegatives(cur, anns, labels)
 		if len(fns) == 0 {
 			break
 		}
-		candidates := mineCandidates(cur, trees, fns, opts)
+		candidates := mineCandidates(cur, anns, fns, opts)
 		if len(candidates) == 0 {
 			break
 		}
@@ -114,7 +112,7 @@ func Tune(cfg selectors.Config, sentences []string, labels []bool, opts Options)
 		var bestCfg selectors.Config
 		for _, cand := range candidates {
 			trial := apply(cur, cand)
-			s := scoreConfig(trial, trees, labels)
+			s := scoreConfig(trial, anns, labels)
 			if s.F-curScore.F < opts.MinGainF {
 				continue
 			}
@@ -159,20 +157,20 @@ func apply(cfg selectors.Config, c candidate) selectors.Config {
 	return out
 }
 
-func scoreConfig(cfg selectors.Config, trees []*depparse.Tree, labels []bool) eval.PRF {
+func scoreConfig(cfg selectors.Config, anns []*nlp.Annotation, labels []bool) eval.PRF {
 	rec := selectors.New(cfg)
-	pred := make([]bool, len(trees))
-	for i, t := range trees {
-		pred[i] = rec.ClassifyParsed(t).Advising
+	pred := make([]bool, len(anns))
+	for i, a := range anns {
+		pred[i] = rec.ClassifyAnnotated(a).Advising
 	}
 	return eval.Score(pred, labels)
 }
 
-func falseNegatives(cfg selectors.Config, trees []*depparse.Tree, labels []bool) []int {
+func falseNegatives(cfg selectors.Config, anns []*nlp.Annotation, labels []bool) []int {
 	rec := selectors.New(cfg)
 	var out []int
-	for i, t := range trees {
-		if labels[i] && !rec.ClassifyParsed(t).Advising {
+	for i, a := range anns {
+		if labels[i] && !rec.ClassifyAnnotated(a).Advising {
 			out = append(out, i)
 		}
 	}
@@ -182,7 +180,7 @@ func falseNegatives(cfg selectors.Config, trees []*depparse.Tree, labels []bool)
 // mineCandidates collects keyword candidates from the false-negative
 // sentences: stemmed n-grams (flagging), subject lemmas (key subjects), and
 // base-verb clause-head lemmas (imperative words).
-func mineCandidates(cfg selectors.Config, trees []*depparse.Tree, fns []int, opts Options) []candidate {
+func mineCandidates(cfg selectors.Config, anns []*nlp.Annotation, fns []int, opts Options) []candidate {
 	ngramSupport := map[string]int{}
 	subjSupport := map[string]int{}
 	impSupport := map[string]int{}
@@ -201,9 +199,10 @@ func mineCandidates(cfg selectors.Config, trees []*depparse.Tree, fns []int, opt
 	}
 
 	for _, i := range fns {
-		tree := trees[i]
+		ann := anns[i]
+		tree := ann.Tree
 		words := tree.Words
-		stems := textproc.StemAll(words)
+		stems := ann.Stems // shared with the classifier, not re-stemmed
 		seen := map[string]bool{}
 		for n := 1; n <= opts.MaxNgram; n++ {
 			for j := 0; j+n <= len(stems); j++ {

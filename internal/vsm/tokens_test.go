@@ -1,0 +1,99 @@
+package vsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// tokenTestSentences exercises the normalization edge cases: stopwords,
+// punctuation runs, identifiers, clitics and numbers.
+var tokenTestSentences = []string{
+	"Avoid shared memory bank conflicts to maximize bandwidth.",
+	"The number of threads per block should be a multiple of the warp size.",
+	"Don't use clWaitForEvents() unless synchronization is required!",
+	"Coalesced accesses -- e.g. 128-byte transactions -- reduce memory latency by 3.14x.",
+	"It is recommended to overlap transfers with execution.",
+	"",
+	"   ",
+	"cudaMemcpyAsync overlaps; cudaMemcpy does not.",
+}
+
+// TestBuildFromTokensBitExact asserts that an index built from pre-tokenized
+// sentences is bit-exact with one built from the raw texts: identical
+// vocabulary size, identical IDFs, and float64-identical scores for every
+// document against a battery of queries. This is the guarantee that lets the
+// annotate-once pipeline hand Stage I's tokens to Stage II without changing
+// a single retrieval result.
+func TestBuildFromTokensBitExact(t *testing.T) {
+	tokens := make([][]string, len(tokenTestSentences))
+	for i, s := range tokenTestSentences {
+		tokens[i] = textproc.Words(s)
+	}
+	fromText := Build(tokenTestSentences)
+	fromTokens := BuildFromTokens(tokens)
+	assertIndexesBitExact(t, fromText, fromTokens)
+}
+
+// TestBuildFromTermsBitExact covers the third construction path — fully
+// pre-normalized terms, as produced by nlp.Annotation.Terms.
+func TestBuildFromTermsBitExact(t *testing.T) {
+	terms := make([][]string, len(tokenTestSentences))
+	for i, s := range tokenTestSentences {
+		terms[i] = textproc.NormalizeTerms(s)
+	}
+	fromText := Build(tokenTestSentences)
+	fromTerms := BuildFromTerms(terms)
+	assertIndexesBitExact(t, fromText, fromTerms)
+}
+
+// TestBuildFromTokensBitExactRandom repeats the equivalence over larger
+// random corpora so vocabulary-id assignment order is stressed too.
+func TestBuildFromTokensBitExactRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sentences := randomCorpus(rng, 300)
+	tokens := make([][]string, len(sentences))
+	for i, s := range sentences {
+		tokens[i] = textproc.Words(s)
+	}
+	assertIndexesBitExact(t, Build(sentences), BuildFromTokens(tokens))
+}
+
+func assertIndexesBitExact(t *testing.T, a, b *Index) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("Len: %d vs %d", a.Len(), b.Len())
+	}
+	if a.VocabSize() != b.VocabSize() {
+		t.Fatalf("VocabSize: %d vs %d", a.VocabSize(), b.VocabSize())
+	}
+	for term := range a.vocab {
+		if a.IDF(term) != b.IDF(term) {
+			t.Fatalf("IDF(%q): %v vs %v", term, a.IDF(term), b.IDF(term))
+		}
+	}
+	queries := []string{
+		"avoid bank conflicts",
+		"memory latency",
+		"warp size threads per block",
+		"overlap transfers with execution",
+		"clWaitForEvents synchronization",
+	}
+	for _, q := range queries {
+		sa := a.QueryAll(q)
+		sb := b.QueryAll(q)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("QueryAll(%q)[%d]: %v vs %v (must be bit-identical)", q, i, sa[i], sb[i])
+			}
+		}
+		// the terms-fed query path must match the string path bit-exactly too
+		st := a.QueryAllTerms(textproc.NormalizeTerms(q))
+		for i := range sa {
+			if sa[i] != st[i] {
+				t.Fatalf("QueryAllTerms(%q)[%d]: %v vs %v", q, i, st[i], sa[i])
+			}
+		}
+	}
+}

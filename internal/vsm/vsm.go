@@ -63,6 +63,21 @@ func Build(sentences []string) *Index {
 	return BuildFromTerms(terms)
 }
 
+// BuildFromTokens constructs an index over pre-tokenized sentences,
+// normalizing each token list (stopword/punctuation removal, Porter
+// stemming) without re-tokenizing. Because tokenization is deterministic,
+// BuildFromTokens(Words(s)...) is bit-exact with Build(s...): identical
+// vocabulary ids, IDF values and document vectors. This is the path the
+// annotate-once pipeline uses — Stage I already tokenized every sentence,
+// so Stage II must not pay for it again.
+func BuildFromTokens(tokenLists [][]string) *Index {
+	terms := make([][]string, len(tokenLists))
+	for i, toks := range tokenLists {
+		terms[i] = textproc.NormalizeWords(toks)
+	}
+	return BuildFromTerms(terms)
+}
+
 // BuildFromTerms constructs an index over pre-normalized term lists.
 func BuildFromTerms(termLists [][]string) *Index {
 	ix := &Index{
@@ -267,7 +282,17 @@ func (ix *Index) denseScan(qv []entry, threshold float64) []Match {
 // QueryAll computes the similarity of every sentence to the query in
 // parallel and returns the full score slice (one per sentence).
 func (ix *Index) QueryAll(query string) []float64 {
-	qv := ix.QueryVector(query)
+	return ix.queryAllVec(ix.QueryVector(query))
+}
+
+// QueryAllTerms is QueryAll over a pre-normalized query term list — the
+// annotation-fed path that lets a serving layer normalize a query once and
+// reuse the terms for cache keying and retrieval.
+func (ix *Index) QueryAllTerms(terms []string) []float64 {
+	return ix.queryAllVec(ix.vectorize(terms))
+}
+
+func (ix *Index) queryAllVec(qv []entry) []float64 {
 	scores := make([]float64, ix.n)
 	if len(qv) == 0 {
 		return scores

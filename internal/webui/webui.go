@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/nlp"
 	"repro/internal/nvvp"
 )
 
@@ -40,12 +41,14 @@ func New(advisor *core.Advisor, title string) *Server {
 // cache and admission control. Call before serving traffic.
 func (s *Server) SetQuerier(f func(q string) []core.Answer) { s.querier = f }
 
-// query answers q through the shared querier when one is installed.
+// query answers q through the shared querier when one is installed; the
+// standalone fallback goes through the annotation path (normalize once,
+// score the terms) like the serving layer does.
 func (s *Server) query(q string) []core.Answer {
 	if s.querier != nil {
 		return s.querier(q)
 	}
-	return s.advisor.Query(q)
+	return s.advisor.QueryTerms(nlp.QueryTerms(q))
 }
 
 // ServeHTTP implements http.Handler.
