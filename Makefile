@@ -1,13 +1,26 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check vet build test race bench bench-all serve
+.PHONY: check vet fmt build test race fuzz bench bench-all serve
 
-check: ## vet + build + race-enabled tests (the tier-1 gate)
+check: ## vet + gofmt + build + race-enabled tests + fuzz smoke (the tier-1 gate)
 	go vet ./...
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
 	go build ./...
 	go test -race ./...
+	$(MAKE) fuzz
 
 vet:
 	go vet ./...
+
+fmt: ## fail if any file needs gofmt
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
+
+# Each target runs its seed corpus (testdata/fuzz/, regenerate with
+# `go run ./tools/fuzzseed`) plus 10s of coverage-guided exploration.
+FUZZTIME ?= 10s
+fuzz: ## run every fuzz target for $(FUZZTIME) (default 10s each)
+	go test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/htmldoc
+	go test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/depparse
+	go test -run '^$$' -fuzz FuzzQuery -fuzztime $(FUZZTIME) ./internal/service
 
 build:
 	go build ./...

@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
+	"repro/internal/obs"
 	"repro/internal/postag"
 	"repro/internal/selectors"
 	"repro/internal/service"
@@ -299,6 +300,25 @@ func BenchmarkServiceQuery(b *testing.B) {
 			if _, hit, err := svc.CachedQuery(ctx, "cuda", q); err != nil || !hit {
 				b.Fatalf("hit=%v err=%v", hit, err)
 			}
+		}
+	})
+	// the warm path with every request's span tree recorded (sampling 1.0)
+	// — the worst-case tracing cost, for the EXPERIMENTS.md overhead table
+	b.Run("warm-traced", func(b *testing.B) {
+		svc := newBenchService(b)
+		tracer := obs.NewTracer(1.0, obs.NewTraceStore(obs.DefaultTraceCapacity))
+		const q = "reduce instruction and memory latency"
+		if _, _, err := svc.CachedQuery(context.Background(), "cuda", q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, root := tracer.Start(context.Background(), "bench.query")
+			if _, hit, err := svc.CachedQuery(ctx, "cuda", q); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+			root.Finish()
 		}
 	})
 }

@@ -19,7 +19,10 @@
 // a JSON API under /v1/ (advisors, rules, query, report), health endpoints
 // (/healthz, /readyz, /statsz), a sharded LRU query cache (-cache-size),
 // and admission control (-max-inflight, -timeout). SIGINT/SIGTERM drains
-// gracefully.
+// gracefully. Observability: every response carries an X-Trace-Id;
+// -trace-sample records span trees for a fraction of requests on /tracez,
+// /metricz exposes the process metrics registry, and Go profiling lives
+// under /debug/pprof/.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -42,6 +46,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/htmldoc"
 	"repro/internal/nvvp"
+	"repro/internal/obs"
 	"repro/internal/selectors"
 	"repro/internal/service"
 	"repro/internal/webui"
@@ -65,6 +70,7 @@ func main() {
 		cacheSize   = flag.Int("cache-size", 1024, "query cache capacity (entries)")
 		maxInflight = flag.Int("max-inflight", 64, "max concurrent retrievals before queuing/429")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request deadline")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests whose span trees are recorded for /tracez (0 = off, 1 = every request)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -125,6 +131,7 @@ func main() {
 			cacheSize:   *cacheSize,
 			maxInflight: *maxInflight,
 			timeout:     *timeout,
+			traceSample: *traceSample,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -235,15 +242,16 @@ type serveConfig struct {
 	cacheSize   int
 	maxInflight int
 	timeout     time.Duration
+	traceSample float64       // fraction of requests with recorded span trees
+	metrics     *obs.Registry // nil: the process-wide default registry
 }
 
-// cmdServe runs the production serving layer: a registry hosting the primary
-// advisor plus any -corpora extras (built concurrently), the /v1 JSON API
-// with query cache and admission control, and the HTML webui on the same
-// mux sharing both. SIGINT/SIGTERM triggers a graceful drain.
-func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serveConfig) error {
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-
+// buildServeHandler assembles the full serving stack — registry, JSON API
+// service, HTML UI sharing the service's cache, tracing middleware, and the
+// debug endpoints (/metricz, /tracez, /debug/pprof) — without binding a
+// listener, so tests can mount it on httptest.Server. It returns the root
+// handler and the service (for BeginDrain and stats).
+func buildServeHandler(fw *core.Framework, advisor *core.Advisor, title string, cfg serveConfig, logger *slog.Logger) (http.Handler, *service.Service, error) {
 	// build any extra guides concurrently, then add the primary advisor
 	builders := map[string]func() (*core.Advisor, error){}
 	for _, name := range cfg.extra {
@@ -265,21 +273,26 @@ func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serve
 	}
 	registry, err := service.BuildAll(builders)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	registry.Add(cfg.primaryName, advisor)
 
+	tracer := obs.NewTracer(cfg.traceSample, obs.NewTraceStore(obs.DefaultTraceCapacity))
 	svc := service.New(registry, service.Options{
 		CacheSize:   cfg.cacheSize,
 		MaxInFlight: cfg.maxInflight,
 		Timeout:     cfg.timeout,
 		Logger:      logger,
+		Tracer:      tracer,
+		Metrics:     cfg.metrics,
 	})
 
-	// the HTML UI shares the service's cache and admission control
+	// the HTML UI shares the service's cache and admission control; the
+	// request context carries the UI request's span so shared-path queries
+	// appear in its trace tree
 	ui := webui.New(advisor, title)
-	ui.SetQuerier(func(q string) []core.Answer {
-		answers, _, err := svc.CachedQuery(context.Background(), cfg.primaryName, q)
+	ui.SetQuerier(func(ctx context.Context, q string) []core.Answer {
+		answers, _, err := svc.CachedQuery(ctx, cfg.primaryName, q)
 		if err != nil {
 			logger.Warn("webui query failed", "err", err)
 			return nil
@@ -292,7 +305,29 @@ func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serve
 	root.Handle("/healthz", svc)
 	root.Handle("/readyz", svc)
 	root.Handle("/statsz", svc)
-	root.Handle("/", ui)
+	root.Handle("/metricz", svc)
+	root.Handle("/tracez", svc)
+	// profiling endpoints on the serving mux (mounted explicitly rather than
+	// relying on the net/http/pprof DefaultServeMux registration)
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	root.Handle("/", obs.Middleware(tracer, ui))
+	return root, svc, nil
+}
+
+// cmdServe runs the production serving layer: a registry hosting the primary
+// advisor plus any -corpora extras (built concurrently), the /v1 JSON API
+// with query cache and admission control, and the HTML webui on the same
+// mux sharing both. SIGINT/SIGTERM triggers a graceful drain.
+func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serveConfig) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	root, svc, err := buildServeHandler(fw, advisor, title, cfg, logger)
+	if err != nil {
+		return err
+	}
 
 	srv := &http.Server{Addr: cfg.addr, Handler: root}
 	done := make(chan error, 1)
@@ -306,8 +341,8 @@ func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serve
 		defer cancel()
 		done <- srv.Shutdown(ctx) // drains in-flight requests
 	}()
-	log.Printf("serving %s on %s (advisors: %s; JSON API under /v1/)",
-		title, cfg.addr, strings.Join(registry.Names(), ", "))
+	log.Printf("serving %s on %s (advisors: %s; JSON API under /v1/; debug: /metricz /tracez /debug/pprof)",
+		title, cfg.addr, strings.Join(svc.Registry().Names(), ", "))
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/obs"
+)
+
+// TestServeEndToEnd exercises the full serve stack exactly as `egeria serve`
+// assembles it — buildServeHandler on an ephemeral port — under concurrent
+// load (run with -race in CI): every /v1/query answer carries a unique trace
+// ID, the webui and JSON API share one cache, pprof and /tracez respond, and
+// the /metricz request counter equals the number of requests served.
+func TestServeEndToEnd(t *testing.T) {
+	g := corpus.GenerateSized(corpus.CUDA, 120, 0.3, 3)
+	advisor := core.New().BuildFromSentences(g.Doc, g.Sentences)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// a dedicated registry so the reconciliation below counts only this
+	// test's requests
+	metrics := obs.NewRegistry()
+	handler, svc, err := buildServeHandler(core.New(), advisor, g.Doc.Title, serveConfig{
+		primaryName: "cuda",
+		seed:        3,
+		cacheSize:   64,
+		maxInflight: 16,
+		timeout:     10 * time.Second,
+		traceSample: 1,
+		metrics:     metrics,
+	}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	const (
+		goroutines = 8
+		perG       = 10
+	)
+	queries := []string{
+		"how to reduce global memory latency",
+		"avoid divergent warps",
+		"improve occupancy",
+	}
+	var (
+		mu       sync.Mutex
+		traceIDs = map[string]int{}
+	)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				q := queries[(gi+i)%len(queries)]
+				resp, err := http.Get(ts.URL + "/v1/cuda/query?q=" + strings.ReplaceAll(q, " ", "+"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("query %q: %d %s", q, resp.StatusCode, body)
+					return
+				}
+				var qr struct {
+					TraceID string `json:"trace_id"`
+				}
+				if err := json.Unmarshal(body, &qr); err != nil {
+					t.Error(err)
+					return
+				}
+				if qr.TraceID == "" || qr.TraceID != resp.Header.Get("X-Trace-Id") {
+					t.Errorf("trace_id %q vs header %q", qr.TraceID, resp.Header.Get("X-Trace-Id"))
+					return
+				}
+				mu.Lock()
+				traceIDs[qr.TraceID]++
+				mu.Unlock()
+			}
+		}(gi)
+	}
+	wg.Wait()
+
+	served := goroutines * perG
+	if len(traceIDs) != served {
+		dups := 0
+		for _, n := range traceIDs {
+			if n > 1 {
+				dups++
+			}
+		}
+		t.Errorf("%d distinct trace IDs over %d requests (%d duplicated)", len(traceIDs), served, dups)
+	}
+
+	// the webui must answer through the same stack (and the shared cache)
+	for _, path := range []string{"/", "/query?q=reduce+memory+latency", "/doc"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("webui %s: %d", path, resp.StatusCode)
+		}
+		if resp.Header.Get("X-Trace-Id") == "" {
+			t.Errorf("webui %s: no X-Trace-Id (tracing middleware not mounted)", path)
+		}
+	}
+
+	// debug surfaces
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/tracez", "/metricz", "/statsz", "/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: %d", path, resp.StatusCode)
+		}
+	}
+
+	// a sampled trace is retrievable by ID
+	var anyID string
+	for id := range traceIDs {
+		anyID = id
+		break
+	}
+	resp, err := http.Get(ts.URL + "/tracez?id=" + anyID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		// the trace store holds 128 traces and we made 80+ requests, so the
+		// sampled tree for this ID may have been evicted only if capacity
+		// were exceeded — it is not
+		t.Fatalf("tracez?id=%s: %d %s", anyID, resp.StatusCode, tbody)
+	}
+	var tr obs.TraceJSON
+	if err := json.Unmarshal(tbody, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root.Children) == 0 {
+		t.Error("sampled trace has no child spans")
+	}
+
+	// reconciliation: the service counted exactly the /v1 + health/statsz
+	// requests that went through it; its query histogram counted every query
+	code, mbody := httpGet(t, ts.URL+"/metricz")
+	if code != 200 {
+		t.Fatalf("metricz %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mbody, &snap); err != nil {
+		t.Fatal(err)
+	}
+	qh, ok := snap.Histograms["service_query_latency_micros"]
+	if !ok {
+		t.Fatal("metricz missing service_query_latency_micros")
+	}
+	// exactly the JSON queries: webui queries share CachedQuery but only
+	// the /v1 handler records query latency
+	if qh.Count != int64(served) {
+		t.Errorf("query histogram count %d, want %d", qh.Count, served)
+	}
+	if got := snap.Counters["service_requests_total"]; got < int64(served) {
+		t.Errorf("service_requests_total %d < %d queries served", got, served)
+	}
+	stats := svc.Stats()
+	if snap.Counters["service_cache_hits_total"] != stats.CacheHits {
+		t.Errorf("metricz hits %d != statsz hits %d", snap.Counters["service_cache_hits_total"], stats.CacheHits)
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestServeConfigTraceSampleOff: with sampling off (the default), requests
+// still get trace IDs but /tracez records nothing.
+func TestServeConfigTraceSampleOff(t *testing.T) {
+	g := corpus.GenerateSized(corpus.CUDA, 60, 0.3, 5)
+	advisor := core.New().BuildFromSentences(g.Doc, g.Sentences)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	handler, _, err := buildServeHandler(core.New(), advisor, "t", serveConfig{
+		primaryName: "cuda",
+		cacheSize:   16,
+		maxInflight: 4,
+		timeout:     5 * time.Second,
+		metrics:     obs.NewRegistry(),
+	}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/cuda/query?q=memory+latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get("X-Trace-Id")
+	if id == "" {
+		t.Error("no trace ID with sampling off; IDs must be assigned regardless")
+	}
+	code, body := httpGet(t, ts.URL+"/tracez?id="+id)
+	if code != 404 {
+		t.Errorf("tracez with sampling off: %d %s, want 404", code, body)
+	}
+	if code, _ := httpGet(t, ts.URL+fmt.Sprintf("/tracez?n=%d", 5)); code != 200 {
+		t.Errorf("tracez listing: %d", code)
+	}
+}

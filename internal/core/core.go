@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -31,8 +32,20 @@ import (
 	"repro/internal/htmldoc"
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
+	"repro/internal/obs"
 	"repro/internal/selectors"
 	"repro/internal/vsm"
+)
+
+// Build observability: advisor synthesis volume and per-stage latency,
+// reported into the default metrics registry (surfaced on /metricz as
+// core_*). The per-stage histograms mirror BuildStats, but accumulate
+// across every build the process runs.
+var (
+	buildsTotal   = obs.Default().Counter("core_builds_total")
+	buildAnnotate = obs.Default().Histogram("core_build_annotate_micros")
+	buildClassify = obs.Default().Histogram("core_build_classify_micros")
+	buildIndex    = obs.Default().Histogram("core_build_index_micros")
 )
 
 // Framework is the advisor generator. The zero value is not usable; call
@@ -158,6 +171,20 @@ func (f *Framework) BuildFromDocument(doc *htmldoc.Document) *Advisor {
 // textproc.NormalizeTerms), but tokenization and stemming run once per
 // sentence instead of twice.
 func (f *Framework) BuildFromSentences(doc *htmldoc.Document, sents []htmldoc.Sentence) *Advisor {
+	return f.BuildFromSentencesCtx(context.Background(), doc, sents)
+}
+
+// BuildFromSentencesCtx is BuildFromSentences under a trace: when ctx
+// carries a sampled span, the three pipeline stages are recorded as
+// annotate/classify/index child spans of a "core.build" span. The same
+// stage timings also feed BuildStats and the core_build_* histograms.
+func (f *Framework) BuildFromSentencesCtx(ctx context.Context, doc *htmldoc.Document, sents []htmldoc.Sentence) *Advisor {
+	buildSpan := obs.SpanFrom(ctx).StartChild("core.build")
+	if buildSpan != nil {
+		buildSpan.SetAttrInt("sentences", len(sents))
+		ctx = obs.ContextWithSpan(ctx, buildSpan)
+		defer buildSpan.Finish()
+	}
 	a := &Advisor{
 		doc:       doc,
 		sentences: sents,
@@ -176,13 +203,17 @@ func (f *Framework) BuildFromSentences(doc *htmldoc.Document, sents []htmldoc.Se
 
 	// stage 1: annotate (tokenize, tag, parse, stem) each sentence once
 	start := time.Now()
-	anns := f.annotator.AnnotateAll(texts)
+	anns := f.annotator.AnnotateAllCtx(ctx, texts)
 	a.stats.Annotate = time.Since(start)
+	buildAnnotate.ObserveDuration(a.stats.Annotate)
 
 	// stage 2: classify the shared annotations
 	start = time.Now()
+	classifySpan := obs.SpanFrom(ctx).StartChild("classify")
 	results := f.classifyAnnotated(anns)
+	classifySpan.Finish()
 	a.stats.Classify = time.Since(start)
+	buildClassify.ObserveDuration(a.stats.Classify)
 	a.stats.StageI = a.stats.Annotate + a.stats.Classify
 
 	for i, res := range results {
@@ -209,12 +240,19 @@ func (f *Framework) BuildFromSentences(doc *htmldoc.Document, sents []htmldoc.Se
 	// Stage II then restricts matches to the advising subset. The term
 	// lists come from the annotations, so the text is not re-tokenized.
 	start = time.Now()
+	indexSpan := obs.SpanFrom(ctx).StartChild("index")
 	terms := make([][]string, len(anns))
 	for i, an := range anns {
 		terms[i] = an.Terms()
 	}
 	a.index = vsm.BuildFromTerms(terms)
+	indexSpan.Finish()
 	a.stats.Indexing = time.Since(start)
+	buildIndex.ObserveDuration(a.stats.Indexing)
+	buildsTotal.Inc()
+	if buildSpan != nil {
+		buildSpan.SetAttrInt("advising", len(a.advising))
+	}
 	return a
 }
 
@@ -335,7 +373,20 @@ func (a *Advisor) QueryTerms(terms []string) []Answer {
 
 // QueryTermsWithThreshold is QueryTerms with an explicit threshold.
 func (a *Advisor) QueryTermsWithThreshold(terms []string, threshold float64) []Answer {
-	scores := a.index.QueryAllTerms(terms)
+	return a.QueryTermsWithThresholdCtx(context.Background(), terms, threshold)
+}
+
+// QueryTermsCtx is QueryTerms under a trace: when ctx carries a sampled
+// span, Stage-II scoring is recorded beneath it (see vsm.QueryAllTermsCtx).
+func (a *Advisor) QueryTermsCtx(ctx context.Context, terms []string) []Answer {
+	return a.QueryTermsWithThresholdCtx(ctx, terms, a.threshold)
+}
+
+// QueryTermsWithThresholdCtx is the context-carrying form of
+// QueryTermsWithThreshold, the path the serving layer uses so a sampled
+// request's trace shows where its scoring time went.
+func (a *Advisor) QueryTermsWithThresholdCtx(ctx context.Context, terms []string, threshold float64) []Answer {
+	scores := a.index.QueryAllTermsCtx(ctx, terms)
 	var out []Answer
 	for _, adv := range a.advising {
 		if s := scores[adv.Index]; s >= threshold {

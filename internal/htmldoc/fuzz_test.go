@@ -1,0 +1,64 @@
+package htmldoc
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize drives the HTML lexer and the full document loader with
+// arbitrary byte strings. Seeds live in testdata/fuzz/FuzzTokenize — the
+// three rendered synthetic guides (regenerate with `go run ./tools/fuzzseed`)
+// — plus the adversarial fragments below. Invariants: no panics or hangs,
+// token kinds carry the right payload, and every extracted sentence points
+// at a valid section.
+func FuzzTokenize(f *testing.F) {
+	f.Add("<html><body><h1>1. Title</h1><p>Use coalesced access.</p></body></html>")
+	f.Add("<p>unterminated <b>tag soup")
+	f.Add("<!-- comment only -->")
+	f.Add("<!-- unterminated comment")
+	f.Add("<script>var x = '<p>not text</p>';</script>after")
+	f.Add("<style>p { color: red }</style>")
+	f.Add("<>< <a <a href=><a href='x\" >text</  a  >")
+	f.Add("plain text, no markup at all. Two sentences!")
+	f.Add("<h2>2.1</h2><pre>code\nblock</pre><h9>not a heading</h9>")
+	f.Add("<p>&lt;escaped&gt; &amp; &#65; &unknown; &#xZZ;</p>")
+	f.Add("\xff\xfe<p>invalid utf8 \x80 bytes</p>")
+	// regression: invalid UTF-8 inside a raw-text element used to shift the
+	// close-tag offset (found by this fuzzer) — see rawTextEnd
+	f.Add("<stYle>\xf1\xf1\xf1\xf1</stYle")
+	f.Add("<script>\x80\x80 var x = 1 </SCRIPT ></script>")
+
+	f.Fuzz(func(t *testing.T, html string) {
+		for _, tok := range tokenize(html) {
+			switch tok.kind {
+			case textToken:
+				if tok.name != "" {
+					t.Errorf("text token carries tag name %q", tok.name)
+				}
+			case startTagToken, endTagToken, selfClosingToken:
+				if tok.name == "" {
+					t.Error("tag token with empty name")
+				}
+			default:
+				t.Errorf("unknown token kind %d", tok.kind)
+			}
+		}
+		doc := Parse(html)
+		for _, s := range doc.Sentences() {
+			if s.Section < 0 || s.Section >= len(doc.Sections) {
+				t.Errorf("sentence %q points at section %d of %d", s.Text, s.Section, len(doc.Sections))
+			}
+			if utf8.ValidString(html) && !utf8.ValidString(s.Text) {
+				t.Errorf("valid input produced invalid UTF-8 sentence %q", s.Text)
+			}
+		}
+		// the sibling loaders must hold the same section invariant
+		for _, alt := range []*Document{ParseMarkdown(html), ParsePlainText(html)} {
+			for _, s := range alt.Sentences() {
+				if s.Section < 0 || s.Section >= len(alt.Sections) {
+					t.Errorf("loader sentence %q points at section %d of %d", s.Text, s.Section, len(alt.Sections))
+				}
+			}
+		}
+	})
+}

@@ -87,8 +87,7 @@ func tokenize(html string) []token {
 			out = append(out, token{kind: startTagToken, name: name, attr: attrs})
 			// raw-text elements: skip to the matching close tag
 			if name == "script" || name == "style" {
-				closer := "</" + name
-				idx := strings.Index(strings.ToLower(html[i:]), closer)
+				idx := rawTextEnd(html[i:], name)
 				if idx < 0 {
 					i = n
 					break
@@ -105,6 +104,21 @@ func tokenize(html string) []token {
 		}
 	}
 	return out
+}
+
+// rawTextEnd returns the byte offset in s of the first "</name" close-tag
+// marker, matched case-insensitively. It compares in place rather than
+// lowercasing a copy: strings.ToLower re-encodes invalid UTF-8 bytes as the
+// 3-byte replacement rune, so an index found in the lowered string is not a
+// valid offset into the original when the raw text contains such bytes.
+func rawTextEnd(s, name string) int {
+	closer := "</" + name
+	for i := 0; i+len(closer) <= len(s); i++ {
+		if s[i] == '<' && strings.EqualFold(s[i:i+len(closer)], closer) {
+			return i
+		}
+	}
+	return -1
 }
 
 // parseTag splits "a href=..." into the tag name and its attributes.

@@ -17,15 +17,29 @@
 package nlp
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/depparse"
+	"repro/internal/obs"
 	"repro/internal/postag"
 	"repro/internal/srl"
 	"repro/internal/textproc"
+)
+
+// Per-stage annotation metrics, registered on the default registry so every
+// annotation path (builds, selectors, tools) reports into one place. The
+// histograms record one observation per sentence per stage, in microseconds.
+var (
+	annotatedSentences = obs.Default().Counter("nlp_sentences_annotated_total")
+	tokenizeHist       = obs.Default().Histogram("nlp_tokenize_micros")
+	tagHist            = obs.Default().Histogram("nlp_tag_micros")
+	parseHist          = obs.Default().Histogram("nlp_parse_micros")
+	stemHist           = obs.Default().Histogram("nlp_stem_micros")
 )
 
 // Annotation is the full per-sentence analysis, produced once by an
@@ -135,10 +149,32 @@ func (an *Annotator) Annotate(text string) *Annotation {
 	return annotate(-1, text)
 }
 
+// AnnotateCtx is Annotate under a trace: when the context carries a sampled
+// span, each NLP stage (tokenize, tag, parse, stem) is recorded as a child
+// span — the per-stage view of where one sentence's annotation time goes.
+func (an *Annotator) AnnotateCtx(ctx context.Context, text string) *Annotation {
+	parent := obs.SpanFrom(ctx)
+	if parent == nil {
+		return annotate(-1, text)
+	}
+	span := parent.StartChild("nlp.annotate")
+	defer span.Finish()
+	a := annotateSpans(-1, text, span)
+	span.SetAttrInt("tokens", len(a.Tree.Words))
+	return a
+}
+
 // AnnotateAll annotates every sentence, fanning out across the annotator's
 // worker count. Work is distributed by an atomic counter (no per-item
 // channel operations) and out[i] always corresponds to texts[i].
 func (an *Annotator) AnnotateAll(texts []string) []*Annotation {
+	return an.AnnotateAllCtx(context.Background(), texts)
+}
+
+// AnnotateAllCtx is AnnotateAll under a trace: the whole fan-out is one
+// span (per-sentence spans at this volume would dwarf the work being
+// traced; per-stage timing is available from the nlp_* histograms).
+func (an *Annotator) AnnotateAllCtx(ctx context.Context, texts []string) []*Annotation {
 	n := len(texts)
 	out := make([]*Annotation, n)
 	workers := an.parallelism
@@ -147,6 +183,12 @@ func (an *Annotator) AnnotateAll(texts []string) []*Annotation {
 	}
 	if workers > n {
 		workers = n
+	}
+	if span := obs.SpanFrom(ctx); span != nil {
+		child := span.StartChild("nlp.annotate_all")
+		child.SetAttrInt("sentences", n)
+		child.SetAttrInt("workers", workers)
+		defer child.Finish()
 	}
 	if workers <= 1 {
 		for i, t := range texts {
@@ -195,12 +237,53 @@ func QueryTerms(query string) []string {
 	return textproc.NormalizeTerms(query)
 }
 
+// annotate runs the four eager stages explicitly (rather than through
+// depparse.ParseText) so each stage's latency is observed into its
+// histogram — the per-component instrumentation the serving layer's
+// /metricz reports. The stage outputs are identical to ParseText's.
 func annotate(idx int, text string) *Annotation {
-	tree := depparse.ParseText(text)
+	start := time.Now()
+	words := textproc.Words(text)
+	t1 := time.Now()
+	tags := postag.Tags(words)
+	t2 := time.Now()
+	tree := depparse.ParseTagged(words, tags)
+	t3 := time.Now()
+	stems := textproc.StemAll(words)
+	t4 := time.Now()
+	tokenizeHist.ObserveDuration(t1.Sub(start))
+	tagHist.ObserveDuration(t2.Sub(t1))
+	parseHist.ObserveDuration(t3.Sub(t2))
+	stemHist.ObserveDuration(t4.Sub(t3))
+	annotatedSentences.Inc()
 	return &Annotation{
 		Index: idx,
 		Text:  text,
 		Tree:  tree,
-		Stems: textproc.StemAll(tree.Words),
+		Stems: stems,
+	}
+}
+
+// annotateSpans is annotate with a child span per stage, used when a
+// sampled trace asks for the per-stage breakdown of one sentence.
+func annotateSpans(idx int, text string, parent *obs.Span) *Annotation {
+	s := parent.StartChild("tokenize")
+	words := textproc.Words(text)
+	s.Finish()
+	s = parent.StartChild("tag")
+	tags := postag.Tags(words)
+	s.Finish()
+	s = parent.StartChild("parse")
+	tree := depparse.ParseTagged(words, tags)
+	s.Finish()
+	s = parent.StartChild("stem")
+	stems := textproc.StemAll(words)
+	s.Finish()
+	annotatedSentences.Inc()
+	return &Annotation{
+		Index: idx,
+		Text:  text,
+		Tree:  tree,
+		Stems: stems,
 	}
 }

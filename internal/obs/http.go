@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves the registry's snapshot as JSON — the /metricz
+// endpoint.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		serveJSON(w, r.Snapshot())
+	})
+}
+
+// tracezSummary is one row of the /tracez listing.
+type tracezSummary struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	DurMicros int64  `json:"dur_micros"`
+	Spans     int    `json:"spans"`
+}
+
+// TraceHandler serves the trace store — the /tracez endpoint. Without
+// parameters it lists recent traces (newest first); ?id= returns one full
+// trace tree; ?n= bounds the listing length.
+func TraceHandler(s *TraceStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s == nil {
+			http.Error(w, `{"error":"tracing disabled"}`, http.StatusNotFound)
+			return
+		}
+		if id := r.URL.Query().Get("id"); id != "" {
+			t, ok := s.Get(id)
+			if !ok {
+				http.Error(w, `{"error":"unknown trace id"}`, http.StatusNotFound)
+				return
+			}
+			serveJSON(w, t)
+			return
+		}
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		traces := s.Recent(n)
+		out := make([]tracezSummary, len(traces))
+		for i, t := range traces {
+			out[i] = tracezSummary{ID: t.ID, Name: t.Root.Name, DurMicros: t.DurMicros, Spans: t.Spans()}
+		}
+		serveJSON(w, out)
+	})
+}
+
+// Middleware wraps an HTTP handler so every request runs under a trace: the
+// context carries a fresh trace ID (and the root span when sampled), and the
+// response carries it in X-Trace-Id. Handlers that manage their own traces
+// (the service layer) should not be wrapped.
+func Middleware(t *Tracer, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, root := t.Start(r.Context(), r.Method+" "+r.URL.Path)
+		defer root.Finish()
+		w.Header().Set("X-Trace-Id", TraceID(ctx))
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = buf.WriteTo(w)
+}

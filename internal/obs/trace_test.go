@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestTraceIDsUnique(t *testing.T) {
+	const n = 1000
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids <- NewTraceID()
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[string]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTracerSampledTraceTree(t *testing.T) {
+	store := NewTraceStore(8)
+	tr := NewTracer(1, store)
+	ctx, root := tr.Start(context.Background(), "GET /v1/query")
+	if root == nil {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+	if TraceID(ctx) == "" {
+		t.Fatal("no trace id on context")
+	}
+	ctx2, span := StartSpan(ctx, "cache")
+	span.SetAttr("hit", "false")
+	_, child := StartSpan(ctx2, "score")
+	child.SetAttrInt("docs", 42)
+	child.Finish()
+	span.Finish()
+	root.Finish()
+
+	got, ok := store.Get(TraceID(ctx))
+	if !ok {
+		t.Fatalf("trace %q not in store", TraceID(ctx))
+	}
+	if got.Root.Name != "GET /v1/query" {
+		t.Errorf("root name = %q", got.Root.Name)
+	}
+	if got.Spans() != 3 {
+		t.Errorf("span count = %d, want 3", got.Spans())
+	}
+	if len(got.Root.Children) != 1 || got.Root.Children[0].Name != "cache" {
+		t.Fatalf("unexpected children: %+v", got.Root.Children)
+	}
+	cache := got.Root.Children[0]
+	if len(cache.Children) != 1 || cache.Children[0].Name != "score" {
+		t.Fatalf("cache children: %+v", cache.Children)
+	}
+	if len(cache.Attrs) != 1 || cache.Attrs[0].Key != "hit" {
+		t.Errorf("cache attrs: %+v", cache.Attrs)
+	}
+	// the tree must survive a JSON round trip (the /tracez contract)
+	data, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("marshal trace: %v", err)
+	}
+	var back TraceJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal trace: %v", err)
+	}
+	if back.ID != got.ID || back.Spans() != 3 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestTracerUnsampledIsNoop(t *testing.T) {
+	tr := NewTracer(0, NewTraceStore(4))
+	ctx, root := tr.Start(context.Background(), "req")
+	if root != nil {
+		t.Fatal("rate-0 tracer sampled")
+	}
+	if TraceID(ctx) == "" {
+		t.Fatal("unsampled request must still get a trace id")
+	}
+	// all downstream instrumentation must be a no-op, not a panic
+	ctx2, span := StartSpan(ctx, "child")
+	if span != nil {
+		t.Fatal("StartSpan returned a live span without a sampled trace")
+	}
+	span.SetAttr("k", "v")
+	span.SetAttrInt("n", 1)
+	grand := span.StartChild("grandchild")
+	grand.Finish()
+	span.Finish()
+	root.Finish()
+	_ = ctx2
+
+	var nilTracer *Tracer
+	ctx3, s := nilTracer.Start(context.Background(), "req")
+	if s != nil || TraceID(ctx3) == "" {
+		t.Fatal("nil tracer must assign ids without sampling")
+	}
+}
+
+func TestTracerSamplingPeriod(t *testing.T) {
+	store := NewTraceStore(64)
+	tr := NewTracer(0.25, store) // every 4th
+	sampled := 0
+	for i := 0; i < 40; i++ {
+		_, root := tr.Start(context.Background(), "req")
+		if root != nil {
+			sampled++
+			root.Finish()
+		}
+	}
+	if sampled != 10 {
+		t.Errorf("sampled %d of 40 at rate 0.25, want 10", sampled)
+	}
+}
+
+func TestTraceStoreEvictsOldest(t *testing.T) {
+	store := NewTraceStore(2)
+	tr := NewTracer(1, store)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ctx, root := tr.Start(context.Background(), "req")
+		ids = append(ids, TraceID(ctx))
+		root.Finish()
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store len = %d, want 2", store.Len())
+	}
+	if _, ok := store.Get(ids[0]); ok {
+		t.Error("oldest trace should have been evicted")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := store.Get(id); !ok {
+			t.Errorf("trace %q missing", id)
+		}
+	}
+	recent := store.Recent(0)
+	if len(recent) != 2 || recent[0].ID != ids[2] || recent[1].ID != ids[1] {
+		t.Errorf("Recent order wrong: %+v", recent)
+	}
+}
+
+func TestUnfinishedSpanExport(t *testing.T) {
+	store := NewTraceStore(4)
+	tr := NewTracer(1, store)
+	ctx, root := tr.Start(context.Background(), "req")
+	_, child := StartSpan(ctx, "slow")
+	root.Finish() // request returned before the child (e.g. deadline hit)
+	got, ok := store.Get(TraceID(ctx))
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	if len(got.Root.Children) != 1 || !got.Root.Children[0].Unfinished {
+		t.Errorf("expected one unfinished child, got %+v", got.Root.Children)
+	}
+	child.Finish()
+}
+
+func TestTraceHandler(t *testing.T) {
+	store := NewTraceStore(8)
+	tr := NewTracer(1, store)
+	ctx, root := tr.Start(context.Background(), "req")
+	root.Finish()
+
+	h := TraceHandler(store)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	var list []tracezSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("tracez list: %v (%s)", err, rec.Body.String())
+	}
+	if len(list) != 1 || list[0].ID != TraceID(ctx) {
+		t.Fatalf("tracez listing: %+v", list)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?id="+TraceID(ctx), nil))
+	var full TraceJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
+		t.Fatalf("tracez by id: %v", err)
+	}
+	if full.ID != TraceID(ctx) {
+		t.Errorf("trace id = %q", full.ID)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?id=nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown id -> %d, want 404", rec.Code)
+	}
+}

@@ -2,12 +2,28 @@ package selectors
 
 import (
 	"strings"
+	"time"
 
 	"repro/internal/depparse"
 	"repro/internal/nlp"
+	"repro/internal/obs"
 	"repro/internal/postag"
 	"repro/internal/srl"
 	"repro/internal/textproc"
+)
+
+// Stage-I observability: how many sentences each selector accepted and how
+// long classification takes, reported into the default metrics registry
+// (surfaced on /metricz as selectors_*).
+var (
+	classifiedTotal = obs.Default().Counter("selectors_classified_total")
+	classifyHist    = obs.Default().Histogram("selectors_classify_micros")
+	selectorHits    = func() (hits [NumSelectors + 1]*obs.Counter) {
+		for id := None; id <= Purpose; id++ {
+			hits[id] = obs.Default().Counter("selectors_hits_" + id.MetricName())
+		}
+		return hits
+	}()
 )
 
 // SelectorID identifies one of the five selectors.
@@ -23,6 +39,24 @@ const (
 	Purpose
 	NumSelectors = 5
 )
+
+// MetricName names the selector as a metric-safe slug ("keyword",
+// "comparative", ..., "none").
+func (s SelectorID) MetricName() string {
+	switch s {
+	case Keyword:
+		return "keyword"
+	case Comparative:
+		return "comparative"
+	case Imperative:
+		return "imperative"
+	case Subject:
+		return "subject"
+	case Purpose:
+		return "purpose"
+	}
+	return "none"
+}
 
 // String names the selector as the paper does.
 func (s SelectorID) String() string {
@@ -105,6 +139,15 @@ func (r *Recognizer) Config() Config { return r.cfg }
 // so nothing is recomputed; the annotation's lazy products (purpose
 // clauses) are materialized at most once even across repeated calls.
 func (r *Recognizer) ClassifyAnnotated(a *nlp.Annotation) Result {
+	start := time.Now()
+	res := r.classifyAnnotated(a)
+	classifyHist.ObserveDuration(time.Since(start))
+	classifiedTotal.Inc()
+	selectorHits[res.Selector].Inc()
+	return res
+}
+
+func (r *Recognizer) classifyAnnotated(a *nlp.Annotation) Result {
 	if r.selector1Stems(a.Stems) {
 		return Result{Advising: true, Selector: Keyword}
 	}

@@ -6,10 +6,12 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestAdmissionAcquireRelease(t *testing.T) {
-	a := NewAdmission(2, 0, &Stats{})
+	a := NewAdmission(2, 0, newStats(obs.NewRegistry()))
 	ctx := context.Background()
 	if err := a.Acquire(ctx); err != nil {
 		t.Fatal(err)
@@ -36,7 +38,7 @@ func TestAdmissionAcquireRelease(t *testing.T) {
 }
 
 func TestAdmissionQueueWaitsThenAcquires(t *testing.T) {
-	stats := &Stats{}
+	stats := newStats(obs.NewRegistry())
 	a := NewAdmission(1, 1, stats)
 	ctx := context.Background()
 	if err := a.Acquire(ctx); err != nil {
@@ -59,7 +61,7 @@ func TestAdmissionQueueWaitsThenAcquires(t *testing.T) {
 }
 
 func TestAdmissionQueueOverflowRejects(t *testing.T) {
-	stats := &Stats{}
+	stats := newStats(obs.NewRegistry())
 	a := NewAdmission(1, 1, stats)
 	ctx := context.Background()
 	if err := a.Acquire(ctx); err != nil {
@@ -82,7 +84,7 @@ func TestAdmissionQueueOverflowRejects(t *testing.T) {
 	if err := a.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("want ErrOverloaded with full queue, got %v", err)
 	}
-	if stats.rejected.Load() == 0 {
+	if stats.rejected.Value() == 0 {
 		t.Error("rejection not counted")
 	}
 	a.Release() // lets the queued goroutine through
@@ -90,7 +92,7 @@ func TestAdmissionQueueOverflowRejects(t *testing.T) {
 }
 
 func TestAdmissionContextExpiresInQueue(t *testing.T) {
-	a := NewAdmission(1, 4, &Stats{})
+	a := NewAdmission(1, 4, newStats(obs.NewRegistry()))
 	if err := a.Acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}

@@ -43,12 +43,14 @@ type Answer struct {
 
 // QueryResponse is the body of GET /v1/{advisor}/query. Cache status is
 // reported in the X-Cache header, not the body, so repeated identical
-// queries stay byte-identical.
+// queries stay byte-identical. TraceID is per-request (it also appears in
+// the X-Trace-Id header) and keys a sampled span tree on /tracez.
 type QueryResponse struct {
 	Advisor string   `json:"advisor"`
 	Query   string   `json:"query"`
 	Count   int      `json:"count"`
 	Answers []Answer `json:"answers"`
+	TraceID string   `json:"trace_id,omitempty"`
 }
 
 // IssueAnswers pairs one profiler issue with its recommendations in
@@ -65,6 +67,7 @@ type ReportResponse struct {
 	Advisor string         `json:"advisor"`
 	Program string         `json:"program,omitempty"`
 	Issues  []IssueAnswers `json:"issues"`
+	TraceID string         `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is every non-2xx body.

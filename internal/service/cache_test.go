@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func answersOf(texts ...string) []core.Answer {
@@ -34,7 +35,7 @@ func TestQueryKeyNormalization(t *testing.T) {
 }
 
 func TestCacheHitMissEvict(t *testing.T) {
-	stats := &Stats{}
+	stats := newStats(obs.NewRegistry())
 	c := NewCache(4, 2, stats)
 	calls := 0
 	get := func(key string) ([]core.Answer, bool) {
@@ -63,16 +64,16 @@ func TestCacheHitMissEvict(t *testing.T) {
 	if got := c.Len(); got > 4 {
 		t.Errorf("cache holds %d entries, cap 4", got)
 	}
-	if stats.evictions.Load() == 0 {
+	if stats.evictions.Value() == 0 {
 		t.Error("no evictions recorded after overflow")
 	}
-	if stats.hits.Load() != 1 || stats.misses.Load() != int64(calls) {
-		t.Errorf("hits %d misses %d calls %d", stats.hits.Load(), stats.misses.Load(), calls)
+	if stats.hits.Value() != 1 || stats.misses.Value() != int64(calls) {
+		t.Errorf("hits %d misses %d calls %d", stats.hits.Value(), stats.misses.Value(), calls)
 	}
 }
 
 func TestCacheLRUOrder(t *testing.T) {
-	stats := &Stats{}
+	stats := newStats(obs.NewRegistry())
 	c := NewCache(2, 1, stats) // single shard so order is observable
 	touch := func(key string) bool {
 		_, hit, _ := c.GetOrCompute(key, func() ([]core.Answer, error) { return nil, nil })
@@ -80,8 +81,8 @@ func TestCacheLRUOrder(t *testing.T) {
 	}
 	touch("a")
 	touch("b")
-	touch("a")   // a is now most recent
-	touch("c")   // evicts b
+	touch("a") // a is now most recent
+	touch("c") // evicts b
 	if !touch("a") {
 		t.Error("a should have survived (recently used)")
 	}
@@ -91,7 +92,7 @@ func TestCacheLRUOrder(t *testing.T) {
 }
 
 func TestCacheSingleFlight(t *testing.T) {
-	stats := &Stats{}
+	stats := newStats(obs.NewRegistry())
 	c := NewCache(16, 4, stats)
 	var computeCalls int
 	release := make(chan struct{})
@@ -128,16 +129,16 @@ func TestCacheSingleFlight(t *testing.T) {
 			t.Errorf("waiter %d got %v", i, r)
 		}
 	}
-	if stats.misses.Load() != 1 {
-		t.Errorf("misses %d, want 1 (single flight)", stats.misses.Load())
+	if stats.misses.Value() != 1 {
+		t.Errorf("misses %d, want 1 (single flight)", stats.misses.Value())
 	}
-	if stats.hits.Load() != waiters-1 {
-		t.Errorf("hits %d, want %d (deduplicated waiters)", stats.hits.Load(), waiters-1)
+	if stats.hits.Value() != waiters-1 {
+		t.Errorf("hits %d, want %d (deduplicated waiters)", stats.hits.Value(), waiters-1)
 	}
 }
 
 func TestCacheComputeErrorNotCached(t *testing.T) {
-	c := NewCache(4, 1, &Stats{})
+	c := NewCache(4, 1, newStats(obs.NewRegistry()))
 	boom := errors.New("boom")
 	calls := 0
 	for i := 0; i < 2; i++ {
@@ -155,7 +156,7 @@ func TestCacheComputeErrorNotCached(t *testing.T) {
 }
 
 func TestCacheInvalidate(t *testing.T) {
-	c := NewCache(32, 4, &Stats{})
+	c := NewCache(32, 4, newStats(obs.NewRegistry()))
 	fill := func(advisor, q string) {
 		c.GetOrCompute(QueryKey(advisor, q), func() ([]core.Answer, error) { return nil, nil })
 	}
@@ -182,11 +183,11 @@ func TestCacheInvalidate(t *testing.T) {
 
 func TestCacheTinyCapacity(t *testing.T) {
 	// degenerate configs must clamp, not panic
-	c := NewCache(0, 0, &Stats{})
+	c := NewCache(0, 0, newStats(obs.NewRegistry()))
 	if len(c.shards) != 1 {
 		t.Fatalf("want 1 shard, got %d", len(c.shards))
 	}
-	c2 := NewCache(2, 8, &Stats{}) // more shards than capacity
+	c2 := NewCache(2, 8, newStats(obs.NewRegistry())) // more shards than capacity
 	if len(c2.shards) != 2 {
 		t.Fatalf("shards must be capped by capacity: got %d", len(c2.shards))
 	}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/vsm"
+)
+
+// FuzzQuery hammers the /v1 query handler with arbitrary query strings
+// through the full stack — routing, tracing, admission, query annotation,
+// cache keying, retrieval. Seeds live in testdata/fuzz/FuzzQuery (the
+// paper's Table 6 queries; regenerate with `go run ./tools/fuzzseed`) plus
+// the edge cases below. Invariants: never a 5xx, never a panic, and every
+// 200 body is a well-formed QueryResponse whose count matches its answers.
+func FuzzQuery(f *testing.F) {
+	f.Add("")
+	f.Add(" ")
+	f.Add("how to reduce global memory latency")
+	f.Add("?q=injection&x=1#frag")
+	f.Add("<script>alert(1)</script>")
+	f.Add("\x00\x01\x02 control bytes")
+	f.Add("\xff\xfe invalid utf8")
+	f.Add("словами на другом языке 漢字")
+
+	reg := NewRegistry()
+	reg.Add("cuda", e2eAdvisor(f))
+	svc := New(reg, Options{Timeout: 10 * time.Second})
+
+	f.Fuzz(func(t *testing.T, q string) {
+		req := httptest.NewRequest("GET", "/v1/cuda/query?q="+url.QueryEscape(q), nil)
+		rec := httptest.NewRecorder()
+		svc.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("query %q: status %d body %s", q, rec.Code, rec.Body.String())
+		}
+		if rec.Code == 200 {
+			var resp QueryResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("query %q: 200 body is not a QueryResponse: %v", q, err)
+			}
+			if resp.Count != len(resp.Answers) {
+				t.Fatalf("query %q: count %d but %d answers", q, resp.Count, len(resp.Answers))
+			}
+			for _, a := range resp.Answers {
+				if a.Score < vsm.DefaultThreshold {
+					t.Fatalf("query %q: answer below threshold: %v", q, a.Score)
+				}
+			}
+		}
+	})
+}

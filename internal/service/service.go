@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
+	"repro/internal/obs"
 )
 
 // Options configures a Service. The zero value gets sane production
@@ -28,6 +30,15 @@ type Options struct {
 	Timeout     time.Duration // per-request deadline (default 2s)
 	MaxBodySize int64         // report upload cap in bytes (default 1 MiB)
 	Logger      *slog.Logger  // structured access log (default: discard)
+
+	// Tracer samples request traces for /tracez. Every request gets a
+	// trace ID (X-Trace-Id header, trace_id response field, access log)
+	// regardless; the tracer only decides whether the span tree is
+	// recorded. nil: never sampled.
+	Tracer *obs.Tracer
+	// Metrics is the registry the service's counters and latency
+	// histograms live in, served on /metricz (default obs.Default()).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +63,9 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default()
+	}
 	return o
 }
 
@@ -73,7 +87,7 @@ type Service struct {
 // the service logger.
 func New(reg *Registry, opts Options) *Service {
 	opts = opts.withDefaults()
-	stats := &Stats{}
+	stats := newStats(opts.Metrics)
 	s := &Service{
 		reg:   reg,
 		cache: NewCache(opts.CacheSize, opts.CacheShards, stats),
@@ -88,6 +102,8 @@ func New(reg *Registry, opts Options) *Service {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.Handle("GET /metricz", obs.MetricsHandler(opts.Metrics))
+	s.mux.Handle("GET /tracez", obs.TraceHandler(opts.Tracer.Store()))
 	s.mux.HandleFunc("GET /v1/advisors", s.handleAdvisors)
 	s.mux.HandleFunc("GET /v1/{advisor}/rules", s.handleRules)
 	s.mux.HandleFunc("GET /v1/{advisor}/query", s.handleQuery)
@@ -144,18 +160,28 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP implements http.Handler with access logging and in-flight
-// accounting around the routed handlers.
+// ServeHTTP implements http.Handler with per-request tracing, access
+// logging, and in-flight accounting around the routed handlers. Every
+// request gets a trace ID (returned in X-Trace-Id and logged); when the
+// tracer samples the request, the handler pipeline records a span tree
+// retrievable from /tracez by that ID.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.stats.requests.Add(1)
 	s.stats.inFlight.Add(1)
 	defer s.stats.inFlight.Add(-1)
+	ctx, root := s.opts.Tracer.Start(r.Context(), r.Method+" "+r.URL.Path)
+	traceID := obs.TraceID(ctx)
+	w.Header().Set("X-Trace-Id", traceID)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(rec, r)
+	s.mux.ServeHTTP(rec, r.WithContext(ctx))
 	dur := time.Since(start)
 	if rec.status >= 500 {
 		s.stats.errors5xx.Add(1)
+	}
+	if root != nil {
+		root.SetAttrInt("status", rec.status)
+		root.Finish()
 	}
 	s.opts.Logger.Info("access",
 		"method", r.Method,
@@ -163,6 +189,7 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"status", rec.status,
 		"dur_micros", dur.Microseconds(),
 		"cache", rec.Header().Get("X-Cache"),
+		"trace", traceID,
 	)
 }
 
@@ -170,21 +197,32 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // admission control — the path shared by the JSON API and the HTML webui.
 // hit reports whether retrieval was skipped.
 func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers []core.Answer, hit bool, err error) {
+	// one span lookup covers the whole query path: with tracing off (or
+	// this request unsampled) parent is nil and every child span below is
+	// a no-op nil pointer — the hot path pays a single ctx.Value call
+	parent := obs.SpanFrom(ctx)
 	adv, ok := s.reg.Get(advisor)
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownAdvisor, advisor)
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
 	defer cancel()
+	admSpan := parent.StartChild("admission")
 	if err := s.admit.Acquire(ctx); err != nil {
+		admSpan.SetAttr("outcome", "rejected")
+		admSpan.Finish()
 		return nil, false, err
 	}
+	admSpan.Finish()
 	defer s.admit.Release()
 	// annotate the query once: the normalized terms key the cache AND feed
 	// retrieval on a miss, so the query text is never tokenized twice —
 	// report answering (one CachedQuery per profiler issue) pays the query
 	// NLP exactly once per issue
+	annSpan := parent.StartChild("annotate")
 	terms := nlp.QueryTerms(q)
+	annSpan.SetAttrInt("terms", len(terms))
+	annSpan.Finish()
 	key := QueryKeyTerms(advisor, terms)
 	// run the lookup in a goroutine so an expired deadline returns promptly;
 	// the computation itself finishes and still populates the cache
@@ -193,18 +231,33 @@ func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers [
 		hit     bool
 		err     error
 	}
+	cacheSpan := parent.StartChild("cache")
 	ch := make(chan result, 1)
 	go func() {
 		a, h, e := s.cache.GetOrCompute(key, func() ([]core.Answer, error) {
-			return adv.QueryTerms(terms), nil
+			// a miss runs Stage-II retrieval; the score span hangs off the
+			// cache span so a trace shows hit (no child) vs miss (scored)
+			scoreSpan := cacheSpan.StartChild("score")
+			defer scoreSpan.Finish()
+			out := adv.QueryTermsCtx(obs.ContextWithSpan(context.Background(), scoreSpan), terms)
+			scoreSpan.SetAttrInt("answers", len(out))
+			return out, nil
 		})
 		ch <- result{a, h, e}
 	}()
 	select {
 	case res := <-ch:
+		if cacheSpan != nil {
+			cacheSpan.SetAttr("hit", strconv.FormatBool(res.hit))
+			cacheSpan.Finish()
+		}
 		return res.answers, res.hit, res.err
 	case <-ctx.Done():
 		s.stats.timeouts.Add(1)
+		if cacheSpan != nil {
+			cacheSpan.SetAttr("outcome", "timeout")
+			cacheSpan.Finish()
+		}
 		return nil, false, ctx.Err()
 	}
 }
@@ -268,7 +321,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	answers, hit, err := s.CachedQuery(r.Context(), name, q)
-	s.stats.queryRing.record(time.Since(start))
+	s.stats.recordQuery(time.Since(start))
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -283,6 +336,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Query:   q,
 		Count:   len(answers),
 		Answers: toAnswers(answers),
+		TraceID: obs.TraceID(r.Context()),
 	})
 }
 
@@ -307,11 +361,11 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	resp := ReportResponse{Advisor: name, Program: report.Program}
+	resp := ReportResponse{Advisor: name, Program: report.Program, TraceID: obs.TraceID(r.Context())}
 	for _, issue := range report.Issues() {
 		answers, _, err := s.CachedQuery(r.Context(), name, issue.Query())
 		if err != nil {
-			s.stats.reportRing.record(time.Since(start))
+			s.stats.recordReport(time.Since(start))
 			writeQueryError(w, err)
 			return
 		}
@@ -322,7 +376,7 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 			Answers: toAnswers(answers),
 		})
 	}
-	s.stats.reportRing.record(time.Since(start))
+	s.stats.recordReport(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 

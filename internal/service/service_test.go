@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -16,11 +17,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/nvvp"
+	"repro/internal/obs"
 )
 
 var (
 	e2eOnce sync.Once
 	e2eAdv  *core.Advisor
+
+	// traceIDRe strips the per-request trace_id field when tests compare
+	// response bodies for byte-identity across repeated queries.
+	traceIDRe = regexp.MustCompile(`,"trace_id":"[^"]*"`)
 )
 
 // e2eAdvisor builds one moderately sized CUDA advisor for the whole test
@@ -241,16 +247,19 @@ func TestConcurrentHammer(t *testing.T) {
 					t.Error(err)
 					return
 				}
+				// the trace_id field is per-request by design; everything
+				// else in the body must stay byte-identical across repeats
+				norm := traceIDRe.ReplaceAllString(string(body), "")
 				mu.Lock()
 				if resp.StatusCode >= 500 {
 					badStatus = append(badStatus, fmt.Sprintf("%d for %q", resp.StatusCode, q))
 				}
 				if prev, ok := bodies[q]; ok {
-					if prev != string(body) {
+					if prev != norm {
 						t.Errorf("response for %q changed between requests", q)
 					}
 				} else {
-					bodies[q] = string(body)
+					bodies[q] = norm
 				}
 				mu.Unlock()
 			}
@@ -379,5 +388,123 @@ func TestReadyzEmptyRegistry(t *testing.T) {
 	defer ts.Close()
 	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
 		t.Errorf("empty registry readyz %d, want 503", code)
+	}
+}
+
+// collectSpanNames flattens a span tree into the set of span names it holds.
+func collectSpanNames(s obs.SpanJSON, into map[string]bool) {
+	into[s.Name] = true
+	for _, c := range s.Children {
+		collectSpanNames(c, into)
+	}
+}
+
+// TestQueryTraceTree is the observability acceptance path: with sampling at
+// 1.0, a single /v1/query yields a trace ID whose span tree — retrieved from
+// /tracez — contains the admission, annotate, cache, and score stages, and
+// /metricz reconciles with /statsz.
+func TestQueryTraceTree(t *testing.T) {
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(1.0, obs.NewTraceStore(16))
+	_, ts := newTestService(t, Options{Tracer: tracer, Metrics: metrics})
+
+	resp, err := http.Get(ts.URL + "/v1/cuda/query?q=coalesce+global+memory+accesses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query %d %s", resp.StatusCode, body)
+	}
+	headerID := resp.Header.Get("X-Trace-Id")
+	if headerID == "" {
+		t.Fatal("missing X-Trace-Id header")
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.TraceID != headerID {
+		t.Errorf("trace_id %q != X-Trace-Id %q", qr.TraceID, headerID)
+	}
+
+	code, tbody := get(t, ts.URL+"/tracez?id="+headerID)
+	if code != 200 {
+		t.Fatalf("tracez %d %s", code, tbody)
+	}
+	var tr obs.TraceJSON
+	if err := json.Unmarshal(tbody, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != headerID {
+		t.Errorf("trace id %q, want %q", tr.ID, headerID)
+	}
+	names := map[string]bool{}
+	collectSpanNames(tr.Root, names)
+	for _, want := range []string{"admission", "annotate", "cache", "score"} {
+		if !names[want] {
+			t.Errorf("trace tree missing %q span (have %v)", want, names)
+		}
+	}
+
+	// a second identical query is a cache hit: traced, but without a score
+	// span under cache
+	resp2, err := http.Get(ts.URL + "/v1/cuda/query?q=coalesce+global+memory+accesses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	id2 := resp2.Header.Get("X-Trace-Id")
+	if id2 == headerID {
+		t.Error("trace IDs not unique across requests")
+	}
+	code, tbody = get(t, ts.URL+"/tracez?id="+id2)
+	if code != 200 {
+		t.Fatalf("tracez (hit) %d %s", code, tbody)
+	}
+	var tr2 obs.TraceJSON
+	if err := json.Unmarshal(tbody, &tr2); err != nil {
+		t.Fatal(err)
+	}
+	hitNames := map[string]bool{}
+	collectSpanNames(tr2.Root, hitNames)
+	if hitNames["score"] {
+		t.Error("cache-hit trace contains a score span; retrieval should have been skipped")
+	}
+
+	// /metricz must agree with /statsz: the service_* counters are the same
+	// atomics behind both views
+	code, mbody := get(t, ts.URL+"/metricz")
+	if code != 200 {
+		t.Fatalf("metricz %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mbody, &snap); err != nil {
+		t.Fatal(err)
+	}
+	code, sbody := get(t, ts.URL+"/statsz")
+	if code != 200 {
+		t.Fatalf("statsz %d", code)
+	}
+	var stats StatsSnapshot
+	if err := json.Unmarshal(sbody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	// statsz was read after metricz, so its request counter may be ahead by
+	// the /statsz request itself — but hits/misses only move on /v1 queries
+	if got := snap.Counters["service_cache_hits_total"]; got != stats.CacheHits {
+		t.Errorf("metricz hits %d != statsz hits %d", got, stats.CacheHits)
+	}
+	if got := snap.Counters["service_cache_misses_total"]; got != stats.CacheMisses {
+		t.Errorf("metricz misses %d != statsz misses %d", got, stats.CacheMisses)
+	}
+	qh, ok := snap.Histograms["service_query_latency_micros"]
+	if !ok {
+		t.Fatal("metricz missing service_query_latency_micros histogram")
+	}
+	if qh.Count != 2 {
+		t.Errorf("query histogram count %d, want 2", qh.Count)
 	}
 }

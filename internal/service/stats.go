@@ -1,10 +1,12 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyRingSize is how many recent request latencies each ring retains for
@@ -14,7 +16,8 @@ const latencyRingSize = 1024
 // latencyRing is a fixed-size ring of recent latencies. Percentiles are
 // computed over whatever the ring currently holds — an estimate over the
 // last latencyRingSize requests, which is exactly what an operations
-// dashboard wants from /statsz.
+// dashboard wants from /statsz. The obs histograms complement it: they
+// cover every request since process start, at bucket resolution.
 type latencyRing struct {
 	mu     sync.Mutex
 	buf    [latencyRingSize]time.Duration
@@ -32,8 +35,11 @@ func (r *latencyRing) record(d time.Duration) {
 	r.mu.Unlock()
 }
 
-// percentiles returns the p-quantiles (0 <= p <= 1) of the ring's contents,
-// zero when empty.
+// percentiles returns the p-quantiles (0 <= p <= 1) of the ring's contents
+// by the nearest-rank method (ceil(p*n), 1-indexed), zero when empty.
+// Truncating instead of rounding the rank reads the wrong sample for high
+// quantiles — int(0.99*(1024-1)) lands on index 1012 where nearest-rank
+// p99 over 1024 samples is index 1013.
 func (r *latencyRing) percentiles(ps ...float64) []time.Duration {
 	r.mu.Lock()
 	snap := make([]time.Duration, r.filled)
@@ -45,25 +51,67 @@ func (r *latencyRing) percentiles(ps ...float64) []time.Duration {
 	}
 	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
 	for i, p := range ps {
-		idx := int(p * float64(len(snap)-1))
+		idx := int(math.Ceil(p*float64(len(snap)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(snap) {
+			idx = len(snap) - 1
+		}
 		out[i] = snap[idx]
 	}
 	return out
 }
 
-// Stats aggregates the service's operational counters. All fields are safe
-// for concurrent use; Snapshot produces the /statsz view.
+// Stats aggregates the service's operational counters. The counters and
+// histograms live in an obs.Registry, so /metricz exposes exactly the
+// values /statsz reports — the two views reconcile by construction. All
+// fields are safe for concurrent use; snapshot produces the /statsz view.
 type Stats struct {
-	requests   atomic.Int64 // requests entering any /v1 handler
-	hits       atomic.Int64 // cache hits (incl. single-flight shared results)
-	misses     atomic.Int64 // cache misses that ran retrieval
-	evictions  atomic.Int64 // LRU evictions
-	rejected   atomic.Int64 // 429s from admission control
-	timeouts   atomic.Int64 // requests cancelled by the per-request deadline
-	errors5xx  atomic.Int64 // responses with status >= 500
-	inFlight   atomic.Int64 // requests currently inside a /v1 handler
-	queryRing  latencyRing  // latency of /v1/{advisor}/query
-	reportRing latencyRing  // latency of /v1/{advisor}/report
+	requests  *obs.Counter // requests entering any /v1 handler
+	hits      *obs.Counter // cache hits (incl. single-flight shared results)
+	misses    *obs.Counter // cache misses that ran retrieval
+	evictions *obs.Counter // LRU evictions
+	rejected  *obs.Counter // 429s from admission control
+	timeouts  *obs.Counter // requests cancelled by the per-request deadline
+	errors5xx *obs.Counter // responses with status >= 500
+	inFlight  *obs.Gauge   // requests currently inside a /v1 handler
+
+	queryRing  latencyRing // latency of /v1/{advisor}/query (last 1024)
+	reportRing latencyRing // latency of /v1/{advisor}/report (last 1024)
+
+	queryHist  *obs.Histogram // latency of every query since process start
+	reportHist *obs.Histogram // latency of every report since process start
+}
+
+// newStats wires a Stats into reg under the service_* metric names.
+// Creating two services over the same registry makes them share counters;
+// give each its own registry when separate accounting matters.
+func newStats(reg *obs.Registry) *Stats {
+	return &Stats{
+		requests:   reg.Counter("service_requests_total"),
+		hits:       reg.Counter("service_cache_hits_total"),
+		misses:     reg.Counter("service_cache_misses_total"),
+		evictions:  reg.Counter("service_cache_evictions_total"),
+		rejected:   reg.Counter("service_rejected_total"),
+		timeouts:   reg.Counter("service_timeouts_total"),
+		errors5xx:  reg.Counter("service_errors_5xx_total"),
+		inFlight:   reg.Gauge("service_in_flight"),
+		queryHist:  reg.Histogram("service_query_latency_micros"),
+		reportHist: reg.Histogram("service_report_latency_micros"),
+	}
+}
+
+// recordQuery records one /v1/{advisor}/query latency in both views.
+func (s *Stats) recordQuery(d time.Duration) {
+	s.queryRing.record(d)
+	s.queryHist.ObserveDuration(d)
+}
+
+// recordReport records one /v1/{advisor}/report latency in both views.
+func (s *Stats) recordReport(d time.Duration) {
+	s.reportRing.record(d)
+	s.reportHist.ObserveDuration(d)
 }
 
 // StatsSnapshot is the JSON shape served on /statsz.
@@ -89,14 +137,14 @@ func (s *Stats) snapshot() StatsSnapshot {
 	qp := s.queryRing.percentiles(0.50, 0.99)
 	rp := s.reportRing.percentiles(0.50, 0.99)
 	return StatsSnapshot{
-		Requests:        s.requests.Load(),
-		CacheHits:       s.hits.Load(),
-		CacheMisses:     s.misses.Load(),
-		Evictions:       s.evictions.Load(),
-		Rejected:        s.rejected.Load(),
-		Timeouts:        s.timeouts.Load(),
-		Errors5xx:       s.errors5xx.Load(),
-		InFlight:        s.inFlight.Load(),
+		Requests:        s.requests.Value(),
+		CacheHits:       s.hits.Value(),
+		CacheMisses:     s.misses.Value(),
+		Evictions:       s.evictions.Value(),
+		Rejected:        s.rejected.Value(),
+		Timeouts:        s.timeouts.Value(),
+		Errors5xx:       s.errors5xx.Value(),
+		InFlight:        s.inFlight.Value(),
 		QueryP50Micros:  qp[0].Microseconds(),
 		QueryP99Micros:  qp[1].Microseconds(),
 		ReportP50Micros: rp[0].Microseconds(),

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyRingPercentiles pins the nearest-rank method (1-indexed rank
+// ceil(p*n)) against hand-computed quantiles. The old truncating index
+// int(p*(n-1)) read one sample low for high quantiles on large rings — over
+// 1024 samples p99 landed on index 1012 instead of 1013.
+func TestLatencyRingPercentiles(t *testing.T) {
+	fill := func(n int) *latencyRing {
+		r := &latencyRing{}
+		// record 1..n out of order (descending) so the test also covers the
+		// sort inside percentiles
+		for v := n; v >= 1; v-- {
+			r.record(time.Duration(v))
+		}
+		return r
+	}
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+		want time.Duration // nearest-rank: value at rank ceil(p*n) of 1..n
+	}{
+		{"empty", 0, 0.50, 0},
+		{"single p50", 1, 0.50, 1},
+		{"single p99", 1, 0.99, 1},
+		{"p0 clamps to min", 10, 0, 1},
+		{"p100 is max", 10, 1, 10},
+		{"p50 of 10", 10, 0.50, 5},  // ceil(5.0) = rank 5
+		{"p99 of 10", 10, 0.99, 10}, // ceil(9.9) = rank 10
+		{"p90 of 10", 10, 0.90, 9},  // ceil(9.0) = rank 9
+		{"p50 of 11", 11, 0.50, 6},  // ceil(5.5) = rank 6, the true median
+		{"p25 of 100", 100, 0.25, 25},
+		{"p99 of 100", 100, 0.99, 99},
+		// the regression case: rank ceil(0.99*1024) = 1014 (value 1014);
+		// the truncating index would have returned 1013
+		{"p99 of full ring", latencyRingSize, 0.99, 1014},
+		{"p50 of full ring", latencyRingSize, 0.50, 512},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r *latencyRing
+			if tc.n == 0 {
+				r = &latencyRing{}
+			} else {
+				r = fill(tc.n)
+			}
+			got := r.percentiles(tc.p)[0]
+			if got != tc.want {
+				t.Errorf("n=%d p=%v: got %d, want %d", tc.n, tc.p, got, tc.want)
+			}
+		})
+	}
+
+	t.Run("multiple quantiles in one call", func(t *testing.T) {
+		r := fill(100)
+		got := r.percentiles(0.50, 0.90, 0.99)
+		want := []time.Duration{50, 90, 99}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("quantile %d: got %d, want %d", i, got[i], want[i])
+			}
+		}
+	})
+
+	t.Run("ring wraps and keeps newest window", func(t *testing.T) {
+		r := &latencyRing{}
+		// overfill: 1..2048 — only 1025..2048 survive in the ring
+		for v := 1; v <= 2*latencyRingSize; v++ {
+			r.record(time.Duration(v))
+		}
+		if got := r.percentiles(1)[0]; got != 2*latencyRingSize {
+			t.Errorf("max after wrap: got %d, want %d", got, 2*latencyRingSize)
+		}
+		if got := r.percentiles(0)[0]; got != latencyRingSize+1 {
+			t.Errorf("min after wrap: got %d, want %d", got, latencyRingSize+1)
+		}
+	})
+}

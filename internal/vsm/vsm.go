@@ -12,12 +12,22 @@
 package vsm
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/textproc"
+)
+
+// Stage-II observability: query volume and scoring latency, reported into
+// the default metrics registry (surfaced on /metricz as vsm_*).
+var (
+	queriesScored = obs.Default().Counter("vsm_queries_scored_total")
+	scoreHist     = obs.Default().Histogram("vsm_score_micros")
 )
 
 // entry is one sparse vector component.
@@ -79,33 +89,37 @@ func BuildFromTokens(tokenLists [][]string) *Index {
 }
 
 // BuildFromTerms constructs an index over pre-normalized term lists.
+//
+// Term ids are assigned in sorted term order, not first-appearance order.
+// Because every weight accumulation (vector norms, dot products) runs in
+// ascending term-id order, this makes scores a function of the document
+// *set* alone: permuting the document order yields bit-identical cosine
+// scores — the metamorphic property the Stage-II test suite checks.
 func BuildFromTerms(termLists [][]string) *Index {
 	ix := &Index{
 		vocab: make(map[string]int),
 		n:     len(termLists),
 	}
-	// document frequencies
-	var df []int
+	// document frequencies, keyed by term string
+	dfByTerm := map[string]int{}
 	for _, terms := range termLists {
-		seen := map[int]bool{}
+		seen := map[string]bool{}
 		for _, t := range terms {
-			id, ok := ix.vocab[t]
-			if !ok {
-				id = len(ix.vocab)
-				ix.vocab[t] = id
-				df = append(df, 0)
-			}
-			if !seen[id] {
-				df[id]++
-				seen[id] = true
+			if !seen[t] {
+				dfByTerm[t]++
+				seen[t] = true
 			}
 		}
 	}
-	ix.idf = make([]float64, len(df))
-	for id, d := range df {
-		if d > 0 {
-			ix.idf[id] = math.Log(float64(ix.n) / float64(d))
-		}
+	vocab := make([]string, 0, len(dfByTerm))
+	for t := range dfByTerm {
+		vocab = append(vocab, t)
+	}
+	sort.Strings(vocab)
+	ix.idf = make([]float64, len(vocab))
+	for id, t := range vocab {
+		ix.vocab[t] = id
+		ix.idf[id] = math.Log(float64(ix.n) / float64(dfByTerm[t]))
 	}
 	ix.vecs = make([][]entry, ix.n)
 	for i, terms := range termLists {
@@ -292,7 +306,27 @@ func (ix *Index) QueryAllTerms(terms []string) []float64 {
 	return ix.queryAllVec(ix.vectorize(terms))
 }
 
+// QueryAllTermsCtx is QueryAllTerms under a trace: when the context carries
+// a sampled span, the scoring pass is recorded as a "vsm.score" child span
+// with the query and index sizes as attributes.
+func (ix *Index) QueryAllTermsCtx(ctx context.Context, terms []string) []float64 {
+	parent := obs.SpanFrom(ctx)
+	if parent == nil {
+		return ix.QueryAllTerms(terms)
+	}
+	span := parent.StartChild("vsm.score")
+	span.SetAttrInt("query_terms", len(terms))
+	span.SetAttrInt("docs", ix.n)
+	defer span.Finish()
+	return ix.QueryAllTerms(terms)
+}
+
 func (ix *Index) queryAllVec(qv []entry) []float64 {
+	start := time.Now()
+	defer func() {
+		scoreHist.ObserveDuration(time.Since(start))
+		queriesScored.Inc()
+	}()
 	scores := make([]float64, ix.n)
 	if len(qv) == 0 {
 		return scores

@@ -7,14 +7,25 @@ package webui
 
 import (
 	"bytes"
+	"context"
 	"html/template"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
+	"repro/internal/obs"
+)
+
+// Observability for the HTML front-end, surfaced on /metricz as webui_*.
+var (
+	pagesTotal   = obs.Default().Counter("webui_pages_total")
+	queriesTotal = obs.Default().Counter("webui_queries_total")
+	reportsTotal = obs.Default().Counter("webui_reports_total")
+	renderHist   = obs.Default().Histogram("webui_render_micros")
 )
 
 // Server wraps an Advisor with HTTP handlers.
@@ -22,7 +33,7 @@ type Server struct {
 	advisor *core.Advisor
 	title   string
 	mux     *http.ServeMux
-	querier func(q string) []core.Answer // optional shared retrieval path
+	querier func(ctx context.Context, q string) []core.Answer // optional shared retrieval path
 }
 
 // New creates a Server for an advisor. title labels the pages
@@ -38,21 +49,25 @@ func New(advisor *core.Advisor, title string) *Server {
 
 // SetQuerier routes retrieval through f instead of calling the advisor
 // directly — the hook that lets the HTML UI share a serving layer's query
-// cache and admission control. Call before serving traffic.
-func (s *Server) SetQuerier(f func(q string) []core.Answer) { s.querier = f }
+// cache and admission control. The context carries the request's trace
+// span (if sampled), so shared-path queries appear in the request's trace
+// tree. Call before serving traffic.
+func (s *Server) SetQuerier(f func(ctx context.Context, q string) []core.Answer) { s.querier = f }
 
 // query answers q through the shared querier when one is installed; the
 // standalone fallback goes through the annotation path (normalize once,
 // score the terms) like the serving layer does.
-func (s *Server) query(q string) []core.Answer {
+func (s *Server) query(ctx context.Context, q string) []core.Answer {
+	queriesTotal.Inc()
 	if s.querier != nil {
-		return s.querier(q)
+		return s.querier(ctx, q)
 	}
-	return s.advisor.QueryTerms(nlp.QueryTerms(q))
+	return s.advisor.QueryTermsCtx(ctx, nlp.QueryTerms(q))
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	pagesTotal.Inc()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -182,7 +197,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Redirect(w, r, "/", http.StatusSeeOther)
 		return
 	}
-	answers := s.query(q)
+	answers := s.query(r.Context(), q)
 	data := struct {
 		Title  string
 		Blocks []answerBlock
@@ -214,11 +229,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "could not parse report: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	reportsTotal.Inc()
 	var blocks []answerBlock
 	for _, issue := range report.Issues() {
 		// each issue is answered through the shared query path, so report
 		// uploads also benefit from (and warm) the serving cache
-		blocks = append(blocks, s.answersToBlock("Issue: "+issue.Title, s.query(issue.Query())))
+		blocks = append(blocks, s.answersToBlock("Issue: "+issue.Title, s.query(r.Context(), issue.Query())))
 	}
 	if len(blocks) == 0 {
 		blocks = []answerBlock{{Heading: "Report " + report.Program, Empty: true}}
@@ -308,6 +324,8 @@ func render(w http.ResponseWriter, t *template.Template, data any) {
 	// render to a buffer first: template errors become clean 500s, and a
 	// client that hangs up mid-transfer cannot trigger a spurious error
 	// response on an already-started body
+	start := time.Now()
+	defer func() { renderHist.ObserveDuration(time.Since(start)) }()
 	var buf bytes.Buffer
 	if err := t.Execute(&buf, data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

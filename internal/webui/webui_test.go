@@ -1,6 +1,7 @@
 package webui
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -220,7 +221,7 @@ func min(a, b int) int {
 func TestSetQuerierRoutesRetrieval(t *testing.T) {
 	s := testServer(t)
 	var got []string
-	s.SetQuerier(func(q string) []core.Answer {
+	s.SetQuerier(func(_ context.Context, q string) []core.Answer {
 		got = append(got, q)
 		return []core.Answer{{
 			Sentence: core.AdvisingSentence{Index: 0, Text: "use the shared path"},

@@ -1,0 +1,68 @@
+// Command fuzzseed regenerates the checked-in seed corpora for the fuzz
+// targets (FuzzTokenize, FuzzParse, FuzzQuery) from the three built-in
+// synthetic guides. Run from the repository root:
+//
+//	go run ./tools/fuzzseed
+//
+// The seeds live in each package's testdata/fuzz/<Target>/ directory — the
+// layout `go test -fuzz` reads natively — so the fuzzers start from
+// realistic guide HTML, guide sentences, and guide-derived queries rather
+// than from empty inputs. htmldoc cannot import corpus (corpus builds on
+// htmldoc), which is why these are files instead of f.Add calls.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fuzzseed: ")
+
+	guides := map[string]corpus.Register{
+		"cuda":   corpus.CUDA,
+		"opencl": corpus.OpenCL,
+		"xeon":   corpus.XeonPhi,
+	}
+
+	var html, sentences, queries []seed
+	for name, reg := range guides {
+		g := corpus.GenerateSized(reg, 60, 0.3, 11)
+		html = append(html, seed{name + "_guide", g.RenderHTML()})
+		for i, text := range g.Texts() {
+			if i >= 12 {
+				break
+			}
+			sentences = append(sentences, seed{fmt.Sprintf("%s_sent_%02d", name, i), text})
+		}
+	}
+	for i, q := range corpus.CUDAQueries() {
+		queries = append(queries, seed{fmt.Sprintf("cuda_query_%02d", i), q.Text})
+	}
+
+	write("internal/htmldoc/testdata/fuzz/FuzzTokenize", html)
+	write("internal/depparse/testdata/fuzz/FuzzParse", sentences)
+	write("internal/service/testdata/fuzz/FuzzQuery", queries)
+}
+
+type seed struct{ name, value string }
+
+// write emits one file per seed in the `go test fuzz v1` corpus format.
+func write(dir string, seeds []seed) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range seeds {
+		body := "go test fuzz v1\nstring(" + strconv.Quote(s.value) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("%s: %d seeds", dir, len(seeds))
+}
