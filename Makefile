@@ -1,5 +1,5 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check vet fmt build test race fuzz bench bench-all serve
+.PHONY: check vet fmt build test race fuzz bench bench-all cover serve
 
 check: ## vet + gofmt + build + race-enabled tests + fuzz smoke (the tier-1 gate)
 	go vet ./...
@@ -39,6 +39,15 @@ bench: ## cross-PR trajectory benchmarks (build pipeline, annotate-once, serving
 
 bench-all: ## full sweep: per-table benchmarks + serving/index ablations
 	go test -run '^$$' -bench . -benchmem ./...
+
+# Statement-coverage gate. COVER_BASELINE is the seed total measured when
+# the gate was introduced; raise it when coverage durably improves, never
+# lower it to make a PR pass. `make cover` writes coverage.out (the raw
+# profile) and coverage.txt (the per-package table CI uploads).
+COVER_BASELINE = 84.7
+cover: ## per-package coverage table + total; fails below COVER_BASELINE
+	go test -count=1 -coverprofile=coverage.out ./internal/... ./cmd/...
+	go run ./tools/coverreport -profile coverage.out -baseline $(COVER_BASELINE) | tee coverage.txt
 
 serve: ## run the advising service with all three built-in guides
 	go run ./cmd/egeria -corpus cuda -corpora opencl,xeon serve -addr :8080

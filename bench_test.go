@@ -7,6 +7,11 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -319,6 +324,99 @@ func BenchmarkServiceQuery(b *testing.B) {
 				b.Fatalf("hit=%v err=%v", hit, err)
 			}
 			root.Finish()
+		}
+	})
+}
+
+// BenchmarkBatchRetrieval contrasts the two ways a client gets N answers
+// out of the service: N sequential /v1/{advisor}/query round trips, each
+// paying HTTP dispatch, admission, tracing, and a JSON response of its own,
+// versus one POST /v1/batch that amortizes all of that across a worker
+// pool. Every iteration uses fresh query texts so both paths stay on the
+// cache-miss path being measured.
+func BenchmarkBatchRetrieval(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(fmt.Sprintf("sequential-%d", n), func(b *testing.B) {
+			svc := newBenchService(b)
+			ts := httptest.NewServer(svc)
+			defer ts.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					q := url.QueryEscape(fmt.Sprintf("memory latency seq %d-%d", i, j))
+					resp, err := http.Get(ts.URL + "/v1/cuda/query?q=" + q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("status %d", resp.StatusCode)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch-%d", n), func(b *testing.B) {
+			svc := newBenchService(b)
+			ts := httptest.NewServer(svc)
+			defer ts.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var sb strings.Builder
+				sb.WriteString(`{"queries":[`)
+				for j := 0; j < n; j++ {
+					if j > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, `{"advisor":"cuda","query":"memory latency batch %d-%d"}`, i, j)
+				}
+				sb.WriteString(`]}`)
+				resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(sb.String()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFederatedAsk measures one cross-advisor fan-out (three advisors,
+// cold then warm) — the /v1/ask hot path.
+func BenchmarkFederatedAsk(b *testing.B) {
+	_, adv := setup(b)
+	reg := service.NewRegistry()
+	reg.Add("cuda", adv)
+	for i, r := range []corpus.Register{corpus.OpenCL, corpus.XeonPhi} {
+		g := corpus.GenerateSized(r, 300, 0.2, int64(23+i))
+		reg.Add([]string{"opencl", "xeon"}[i], core.New().BuildFromSentences(g.Doc, g.Sentences))
+	}
+	svc := service.New(reg, service.Options{CacheSize: 8192, Timeout: 30 * time.Second})
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf("overlap transfers with execution variant %d", i)
+			if ans, errs := svc.Ask(ctx, "", q, 3); len(errs) != 0 {
+				b.Fatalf("%v (%d answers)", errs, len(ans))
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		const q = "overlap transfers with execution"
+		svc.Ask(ctx, "", q, 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, errs := svc.Ask(ctx, "", q, 3); len(errs) != 0 {
+				b.Fatal(errs)
+			}
 		}
 	})
 }

@@ -93,5 +93,7 @@ func main() {
 			experiments.CategoryAttribution(corpus.CUDA, selectors.DefaultConfig())))
 		fmt.Println(experiments.FormatRetrievalAblation(
 			experiments.RetrievalAblation(cudaGuide, cudaAdvisor)))
+		fmt.Println(experiments.FormatBackendAblation(
+			experiments.BackendAblation(cudaGuide, cudaAdvisor)))
 	}
 }

@@ -15,11 +15,12 @@
 // instead of an HTML document; -xeon-tuned applies the paper's §4.3 keyword
 // tuning; -threshold overrides the 0.15 recommendation threshold.
 //
-// serve hosts the production layer of internal/service: the HTML UI at /,
-// a JSON API under /v1/ (advisors, rules, query, report), health endpoints
-// (/healthz, /readyz, /statsz), a sharded LRU query cache (-cache-size),
-// and admission control (-max-inflight, -timeout). SIGINT/SIGTERM drains
-// gracefully. Observability: every response carries an X-Trace-Id;
+// serve hosts the production layer of internal/service: the HTML UI at /
+// (with a federated /ask page), a JSON API under /v1/ (advisors, rules,
+// query with a selectable scoring backend, report, batch, and the
+// cross-advisor ask), health endpoints (/healthz, /readyz, /statsz), a
+// sharded LRU query cache (-cache-size), and admission control
+// (-max-inflight, -max-batch, -timeout). SIGINT/SIGTERM drains gracefully. Observability: every response carries an X-Trace-Id;
 // -trace-sample records span trees for a fraction of requests on /tracez,
 // /metricz exposes the process metrics registry, and Go profiling lives
 // under /debug/pprof/.
@@ -69,6 +70,7 @@ func main() {
 		corpora     = flag.String("corpora", "", "comma-separated extra built-in guides to serve alongside the primary advisor (e.g. opencl,xeon)")
 		cacheSize   = flag.Int("cache-size", 1024, "query cache capacity (entries)")
 		maxInflight = flag.Int("max-inflight", 64, "max concurrent retrievals before queuing/429")
+		maxBatch    = flag.Int("max-batch", 64, "max queries accepted per POST /v1/batch request")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request deadline")
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests whose span trees are recorded for /tracez (0 = off, 1 = every request)")
 	)
@@ -130,6 +132,7 @@ func main() {
 			seed:        *seed,
 			cacheSize:   *cacheSize,
 			maxInflight: *maxInflight,
+			maxBatch:    *maxBatch,
 			timeout:     *timeout,
 			traceSample: *traceSample,
 		}); err != nil {
@@ -241,6 +244,7 @@ type serveConfig struct {
 	seed        int64
 	cacheSize   int
 	maxInflight int
+	maxBatch    int
 	timeout     time.Duration
 	traceSample float64       // fraction of requests with recorded span trees
 	metrics     *obs.Registry // nil: the process-wide default registry
@@ -281,6 +285,7 @@ func buildServeHandler(fw *core.Framework, advisor *core.Advisor, title string, 
 	svc := service.New(registry, service.Options{
 		CacheSize:   cfg.cacheSize,
 		MaxInFlight: cfg.maxInflight,
+		MaxBatch:    cfg.maxBatch,
 		Timeout:     cfg.timeout,
 		Logger:      logger,
 		Tracer:      tracer,
@@ -291,13 +296,32 @@ func buildServeHandler(fw *core.Framework, advisor *core.Advisor, title string, 
 	// request context carries the UI request's span so shared-path queries
 	// appear in its trace tree
 	ui := webui.New(advisor, title)
-	ui.SetQuerier(func(ctx context.Context, q string) []core.Answer {
-		answers, _, err := svc.CachedQuery(ctx, cfg.primaryName, q)
+	ui.SetQuerier(func(ctx context.Context, backend, q string) []core.Answer {
+		answers, _, err := svc.CachedQueryBackend(ctx, cfg.primaryName, backend, q)
 		if err != nil {
 			logger.Warn("webui query failed", "err", err)
 			return nil
 		}
 		return answers
+	})
+	// the /ask page fans out to every advisor in the registry through the
+	// service's federation path, sharing its cache and admission control
+	ui.SetFederator(func(ctx context.Context, backend, q string, k int) []webui.FederatedHit {
+		answers, errs := svc.Ask(ctx, backend, q, k)
+		for name, msg := range errs {
+			logger.Warn("webui federated ask failed for advisor", "advisor", name, "err", msg)
+		}
+		hits := make([]webui.FederatedHit, len(answers))
+		for i, a := range answers {
+			hits[i] = webui.FederatedHit{
+				Advisor: a.Advisor,
+				Section: a.Rule.Section,
+				Text:    a.Rule.Text,
+				Score:   a.Score,
+				Norm:    a.Norm,
+			}
+		}
+		return hits
 	})
 
 	root := http.NewServeMux()

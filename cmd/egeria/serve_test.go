@@ -203,6 +203,165 @@ func httpGet(t *testing.T, url string) (int, []byte) {
 	return resp.StatusCode, body
 }
 
+// TestServeBatchAskBackend exercises the federated serving surface end to
+// end as `egeria serve -corpora opencl` assembles it: per-query backend
+// selection on /v1/query, the /v1/batch worker pool with per-item trace
+// IDs, the cross-advisor /v1/ask merge, and the webui's /ask page.
+func TestServeBatchAskBackend(t *testing.T) {
+	g := corpus.GenerateSized(corpus.CUDA, 120, 0.3, 7)
+	advisor := core.New().BuildFromSentences(g.Doc, g.Sentences)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	handler, svc, err := buildServeHandler(core.New(), advisor, g.Doc.Title, serveConfig{
+		primaryName: "cuda",
+		extra:       []string{"opencl"},
+		seed:        7,
+		cacheSize:   64,
+		maxInflight: 16,
+		maxBatch:    8,
+		timeout:     10 * time.Second,
+		metrics:     obs.NewRegistry(),
+	}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// per-query backend selection: both backends answer, responses echo the
+	// chosen backend, unknown backends are client errors
+	for _, backend := range []string{"", "vsm", "bm25"} {
+		url := ts.URL + "/v1/cuda/query?q=reduce+memory+latency"
+		if backend != "" {
+			url += "&backend=" + backend
+		}
+		code, body := httpGet(t, url)
+		if code != 200 {
+			t.Fatalf("backend %q: %d %s", backend, code, body)
+		}
+		var qr struct {
+			Backend string `json:"backend"`
+		}
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if qr.Backend != backend {
+			t.Errorf("backend %q echoed as %q", backend, qr.Backend)
+		}
+	}
+	if code, _ := httpGet(t, ts.URL+"/v1/cuda/query?q=x&backend=nope"); code != 400 {
+		t.Errorf("unknown backend: %d, want 400", code)
+	}
+	code, body := httpGet(t, ts.URL+"/v1/backends")
+	if code != 200 || !strings.Contains(string(body), "bm25") {
+		t.Errorf("/v1/backends: %d %s", code, body)
+	}
+
+	// batch: mixed advisors and backends, one bad item; per-item trace IDs
+	// must be unique and the bad item must not fail the batch
+	batch := `{"queries":[
+		{"advisor":"cuda","query":"reduce global memory latency"},
+		{"advisor":"opencl","query":"work group size"},
+		{"advisor":"cuda","query":"avoid divergent warps","backend":"bm25"},
+		{"advisor":"nosuch","query":"anything"}
+	]}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d %s", resp.StatusCode, bbody)
+	}
+	var br struct {
+		Count   int `json:"count"`
+		Errors  int `json:"errors"`
+		Results []struct {
+			Advisor string `json:"advisor"`
+			Error   string `json:"error"`
+			TraceID string `json:"trace_id"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(bbody, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != 4 || br.Errors != 1 {
+		t.Errorf("batch count=%d errors=%d, want 4/1", br.Count, br.Errors)
+	}
+	ids := map[string]bool{}
+	for i, r := range br.Results {
+		if r.TraceID == "" || ids[r.TraceID] {
+			t.Errorf("item %d: trace ID %q empty or duplicated", i, r.TraceID)
+		}
+		ids[r.TraceID] = true
+	}
+	if br.Results[3].Error == "" || br.Results[0].Error != "" {
+		t.Errorf("per-item errors misplaced: %+v", br.Results)
+	}
+	// batch limits: empty and oversized batches are client errors
+	for _, bad := range []string{`{"queries":[]}`, `{not json`} {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("bad batch %q: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// federated ask: answers must come from more than one advisor when both
+	// match, with normalized scores in (0, 1] and advisor attribution
+	code, abody := httpGet(t, ts.URL+"/v1/ask?q=memory+performance&k=5")
+	if code != 200 {
+		t.Fatalf("ask: %d %s", code, abody)
+	}
+	var ar struct {
+		Count   int `json:"count"`
+		Answers []struct {
+			Advisor string  `json:"advisor"`
+			Norm    float64 `json:"norm"`
+		} `json:"answers"`
+	}
+	if err := json.Unmarshal(abody, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Count == 0 {
+		t.Fatal("federated ask found nothing")
+	}
+	advisors := map[string]bool{}
+	for i, a := range ar.Answers {
+		advisors[a.Advisor] = true
+		if a.Norm <= 0 || a.Norm > 1 {
+			t.Errorf("answer %d: norm %v out of (0,1]", i, a.Norm)
+		}
+		if i > 0 && ar.Answers[i-1].Norm < a.Norm {
+			t.Errorf("answers not sorted by norm at %d", i)
+		}
+	}
+	if len(advisors) < 2 {
+		t.Errorf("federation drew from %d advisor(s), want >= 2 (got %v)", len(advisors), advisors)
+	}
+	if code, _ := httpGet(t, ts.URL+"/v1/ask"); code != 400 {
+		t.Errorf("ask without q: %d, want 400", code)
+	}
+
+	// the webui /ask page federates through the same service
+	code, hbody := httpGet(t, ts.URL+"/ask?q=memory+performance")
+	if code != 200 || !strings.Contains(string(hbody), "opencl") && !strings.Contains(string(hbody), "cuda") {
+		t.Errorf("webui /ask: %d (advisor attribution missing)", code)
+	}
+
+	stats := svc.Stats()
+	if stats.Batches != 1 || stats.BatchItems != 4 {
+		t.Errorf("batch stats %d/%d, want 1/4", stats.Batches, stats.BatchItems)
+	}
+	if stats.Asks < 2 {
+		t.Errorf("asks %d, want >= 2 (JSON + webui)", stats.Asks)
+	}
+}
+
 // TestServeConfigTraceSampleOff: with sampling off (the default), requests
 // still get trace IDs but /tracez records nothing.
 func TestServeConfigTraceSampleOff(t *testing.T) {

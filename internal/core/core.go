@@ -397,6 +397,44 @@ func (a *Advisor) QueryTermsWithThresholdCtx(ctx context.Context, terms []string
 	return out
 }
 
+// Backends lists the retrieval backends the advisor can score with: the
+// paper's TF-IDF/VSM (default) plus the alternates sharing its index.
+func (a *Advisor) Backends() []string { return vsm.Backends() }
+
+// QueryBackend answers a natural-language query with the named scoring
+// backend (see QueryTermsBackendCtx; "" selects the paper's VSM).
+func (a *Advisor) QueryBackend(q, backend string) ([]Answer, error) {
+	return a.QueryTermsBackendCtx(context.Background(), backend, nlp.QueryTerms(q))
+}
+
+// QueryTermsBackendCtx answers a pre-normalized query term list with the
+// named scoring backend. The empty string and "vsm" run the paper's
+// TF-IDF/cosine model with the advisor's threshold — bit-identical to
+// QueryTermsCtx, since both delegate to the same index scan. "bm25" scores
+// with Okapi BM25 over the same postings and keeps every advising sentence
+// with positive score: BM25 scores are unbounded, so the paper's 0.15
+// cosine threshold has no meaning there and rank order does the filtering.
+// Scores are comparable only within one backend. An unknown backend name
+// returns vsm.ErrUnknownBackend.
+func (a *Advisor) QueryTermsBackendCtx(ctx context.Context, backend string, terms []string) ([]Answer, error) {
+	scorer, err := a.index.Scorer(backend)
+	if err != nil {
+		return nil, err
+	}
+	if scorer.Backend() == vsm.BackendVSM {
+		return a.QueryTermsWithThresholdCtx(ctx, terms, a.threshold), nil
+	}
+	scores := scorer.ScoreTermsCtx(ctx, terms)
+	var out []Answer
+	for _, adv := range a.advising {
+		if s := scores[adv.Index]; s > 0 {
+			out = append(out, Answer{Sentence: adv, Score: s})
+		}
+	}
+	sortAnswers(out)
+	return out, nil
+}
+
 // FullDocQuery retrieves over the whole document without the Stage-I filter
 // — the paper's "full-doc" baseline (§4.2). Exposed here because it shares
 // the advisor's TF-IDF index.

@@ -547,3 +547,77 @@ func FormatThresholdSweep(points []ThresholdPoint) string {
 	}
 	return "Ablation: Stage-II similarity threshold sweep (paper default 0.15)\n" + t.String()
 }
+
+// BackendRow compares the advisor's served scoring backends on one query:
+// the paper's TF-IDF/VSM default against Okapi BM25 over the same shared
+// postings — the exact path `/v1/{advisor}/query?backend=bm25` scores with.
+// BM25 has no score threshold, so it is truncated to VSM's answer budget.
+type BackendRow struct {
+	Issue   string
+	Answers int // VSM's answer count, the shared budget
+	VSM     eval.PRF
+	BM25    eval.PRF
+}
+
+// BackendAblation runs the served-backend comparison over the Table 6
+// queries. Unlike RetrievalAblation, which rebuilds a standalone BM25 index
+// from raw advising text, this goes through Advisor.QueryBackend so both
+// backends share one tokenization, one postings list, and one advising set:
+// any quality difference is the weighting model alone.
+func BackendAblation(g *corpus.Guide, adv *core.Advisor) []BackendRow {
+	var out []BackendRow
+	for _, q := range corpus.CUDAQueries() {
+		truth := g.GroundTruth(q)
+		var vsmIdx []int
+		for _, a := range adv.Query(q.Text) {
+			vsmIdx = append(vsmIdx, a.Sentence.Index)
+		}
+		bmAns, err := adv.QueryBackend(q.Text, vsm.BackendBM25)
+		if err != nil {
+			// the backend name is a package constant; an error here is a bug
+			panic(err)
+		}
+		if len(bmAns) > len(vsmIdx) {
+			bmAns = bmAns[:len(vsmIdx)]
+		}
+		var bmIdx []int
+		for _, a := range bmAns {
+			bmIdx = append(bmIdx, a.Sentence.Index)
+		}
+		out = append(out, BackendRow{
+			Issue:   q.Issue,
+			Answers: len(vsmIdx),
+			VSM:     eval.ScoreSets(vsmIdx, truth),
+			BM25:    eval.ScoreSets(bmIdx, truth),
+		})
+	}
+	return out
+}
+
+// FormatBackendAblation renders the served-backend comparison with a
+// macro-averaged summary row.
+func FormatBackendAblation(rows []BackendRow) string {
+	t := &eval.Table{Header: []string{"Issue", "n", "VSM P", "R", "F", "BM25 P", "R", "F"}}
+	var vp, vr, vf, bp, br, bf float64
+	for _, r := range rows {
+		issue := r.Issue
+		if len(issue) > 40 {
+			issue = issue[:37] + "..."
+		}
+		t.AddRow(issue, fmt.Sprintf("%d", r.Answers),
+			eval.F3(r.VSM.Precision), eval.F3(r.VSM.Recall), eval.F3(r.VSM.F),
+			eval.F3(r.BM25.Precision), eval.F3(r.BM25.Recall), eval.F3(r.BM25.F))
+		vp += r.VSM.Precision
+		vr += r.VSM.Recall
+		vf += r.VSM.F
+		bp += r.BM25.Precision
+		br += r.BM25.Recall
+		bf += r.BM25.F
+	}
+	if n := float64(len(rows)); n > 0 {
+		t.AddRow("macro average", "",
+			eval.F3(vp/n), eval.F3(vr/n), eval.F3(vf/n),
+			eval.F3(bp/n), eval.F3(br/n), eval.F3(bf/n))
+	}
+	return "Ablation: served backends — VSM default vs ?backend=bm25 (shared postings, same budget)\n" + t.String()
+}

@@ -385,3 +385,25 @@ func TestFormatters(t *testing.T) {
 		t.Error("sweep format")
 	}
 }
+
+func TestBackendAblation(t *testing.T) {
+	g, adv := BuildAdvisor(corpus.CUDA)
+	rows := BackendAblation(g, adv)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Answers == 0 {
+			t.Errorf("%s: VSM answered nothing, budget collapsed", r.Issue)
+		}
+		// precision is budget-matched, so the two backends never diverge
+		// wildly over the same postings
+		if r.BM25.F < r.VSM.F-0.35 || r.VSM.F < r.BM25.F-0.35 {
+			t.Errorf("%s: backends diverge implausibly: vsm %.3f bm25 %.3f", r.Issue, r.VSM.F, r.BM25.F)
+		}
+	}
+	out := FormatBackendAblation(rows)
+	if !strings.Contains(out, "macro average") || !strings.Contains(out, "bm25") {
+		t.Errorf("format broken:\n%s", out)
+	}
+}

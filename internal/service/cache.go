@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/textproc"
+	"repro/internal/vsm"
 )
 
 // Cache is a sharded LRU over Stage-II query results, keyed on the
@@ -86,6 +87,20 @@ func QueryKey(advisor, query string) string {
 // once and reuses the terms for both the cache key and retrieval scoring.
 func QueryKeyTerms(advisor string, terms []string) string {
 	return advisor + "\x00" + strings.Join(terms, " ")
+}
+
+// QueryKeyBackend extends QueryKeyTerms with the scoring backend. The
+// default backend ("" or "vsm") keys exactly like QueryKeyTerms — the two
+// spellings share cache entries because their answers are bit-identical —
+// while alternate backends get a disjoint key space (terms never contain
+// control bytes, so the "\x00\x01" marker cannot collide with a default
+// key) under the same advisor prefix, so Invalidate drops every backend's
+// entries for an advisor in one pass.
+func QueryKeyBackend(advisor, backend string, terms []string) string {
+	if backend == "" || backend == vsm.BackendVSM {
+		return QueryKeyTerms(advisor, terms)
+	}
+	return advisor + "\x00\x01" + backend + "\x00" + strings.Join(terms, " ")
 }
 
 func (c *Cache) shardFor(key string) *cacheShard {

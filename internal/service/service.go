@@ -18,18 +18,21 @@ import (
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
 	"repro/internal/obs"
+	"repro/internal/vsm"
 )
 
 // Options configures a Service. The zero value gets sane production
 // defaults.
 type Options struct {
-	CacheSize   int           // total cached queries (default 1024)
-	CacheShards int           // LRU shards (default 8)
-	MaxInFlight int           // concurrent retrievals (default 64)
-	MaxQueue    int           // waiting-room size (default 4*MaxInFlight)
-	Timeout     time.Duration // per-request deadline (default 2s)
-	MaxBodySize int64         // report upload cap in bytes (default 1 MiB)
-	Logger      *slog.Logger  // structured access log (default: discard)
+	CacheSize    int           // total cached queries (default 1024)
+	CacheShards  int           // LRU shards (default 8)
+	MaxInFlight  int           // concurrent retrievals (default 64)
+	MaxQueue     int           // waiting-room size (default 4*MaxInFlight)
+	Timeout      time.Duration // per-request deadline (default 2s)
+	MaxBodySize  int64         // report upload cap in bytes (default 1 MiB)
+	MaxBatch     int           // queries accepted per /v1/batch request (default 64)
+	BatchWorkers int           // worker pool answering one batch (default 8, capped by MaxInFlight)
+	Logger       *slog.Logger  // structured access log (default: discard)
 
 	// Tracer samples request traces for /tracez. Every request gets a
 	// trace ID (X-Trace-Id header, trace_id response field, access log)
@@ -59,6 +62,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodySize <= 0 {
 		o.MaxBodySize = 1 << 20
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.BatchWorkers <= 0 {
+		o.BatchWorkers = 8
+	}
+	if o.BatchWorkers > o.MaxInFlight {
+		o.BatchWorkers = o.MaxInFlight
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -105,6 +117,10 @@ func New(reg *Registry, opts Options) *Service {
 	s.mux.Handle("GET /metricz", obs.MetricsHandler(opts.Metrics))
 	s.mux.Handle("GET /tracez", obs.TraceHandler(opts.Tracer.Store()))
 	s.mux.HandleFunc("GET /v1/advisors", s.handleAdvisors)
+	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/ask", s.handleAsk)
+	s.mux.HandleFunc("POST /v1/ask", s.handleAsk)
 	s.mux.HandleFunc("GET /v1/{advisor}/rules", s.handleRules)
 	s.mux.HandleFunc("GET /v1/{advisor}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/{advisor}/report", s.handleReport)
@@ -195,12 +211,25 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // CachedQuery answers q against the named advisor through the cache and
 // admission control — the path shared by the JSON API and the HTML webui.
-// hit reports whether retrieval was skipped.
+// hit reports whether retrieval was skipped. It always scores with the
+// default (VSM) backend.
 func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers []core.Answer, hit bool, err error) {
+	return s.CachedQueryBackend(ctx, advisor, "", q)
+}
+
+// CachedQueryBackend is CachedQuery with an explicit scoring backend ("" or
+// "vsm" for the paper's TF-IDF/cosine default, "bm25" for the Okapi view
+// over the same postings). Unknown backends fail fast with
+// vsm.ErrUnknownBackend, before admission or annotation. Each backend keys
+// its own cache entries; the default spellings share one key space.
+func (s *Service) CachedQueryBackend(ctx context.Context, advisor, backend, q string) (answers []core.Answer, hit bool, err error) {
 	// one span lookup covers the whole query path: with tracing off (or
 	// this request unsampled) parent is nil and every child span below is
 	// a no-op nil pointer — the hot path pays a single ctx.Value call
 	parent := obs.SpanFrom(ctx)
+	if !vsm.ValidBackend(backend) {
+		return nil, false, fmt.Errorf("%w: %q", vsm.ErrUnknownBackend, backend)
+	}
 	adv, ok := s.reg.Get(advisor)
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownAdvisor, advisor)
@@ -223,7 +252,7 @@ func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers [
 	terms := nlp.QueryTerms(q)
 	annSpan.SetAttrInt("terms", len(terms))
 	annSpan.Finish()
-	key := QueryKeyTerms(advisor, terms)
+	key := QueryKeyBackend(advisor, backend, terms)
 	// run the lookup in a goroutine so an expired deadline returns promptly;
 	// the computation itself finishes and still populates the cache
 	type result struct {
@@ -231,6 +260,7 @@ func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers [
 		hit     bool
 		err     error
 	}
+	serial := vsm.SerialScoring(ctx)
 	cacheSpan := parent.StartChild("cache")
 	ch := make(chan result, 1)
 	go func() {
@@ -239,7 +269,21 @@ func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers [
 			// cache span so a trace shows hit (no child) vs miss (scored)
 			scoreSpan := cacheSpan.StartChild("score")
 			defer scoreSpan.Finish()
-			out := adv.QueryTermsCtx(obs.ContextWithSpan(context.Background(), scoreSpan), terms)
+			if backend != "" {
+				scoreSpan.SetAttr("backend", backend)
+			}
+			// detach from the request ctx so the computation outlives an
+			// expired deadline and still populates the cache, but carry the
+			// caller's serial-scoring hint through — a batch worker pool is
+			// already parallel across queries
+			bctx := obs.ContextWithSpan(context.Background(), scoreSpan)
+			if serial {
+				bctx = vsm.WithSerialScoring(bctx)
+			}
+			out, qerr := adv.QueryTermsBackendCtx(bctx, backend, terms)
+			if qerr != nil {
+				return nil, qerr
+			}
 			scoreSpan.SetAttrInt("answers", len(out))
 			return out, nil
 		})
@@ -319,8 +363,11 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing query parameter q")
 		return
 	}
+	// absent/empty backend takes the default path and leaves the response
+	// byte-identical to a backend-unaware build (Backend marshals omitempty)
+	backend := strings.TrimSpace(r.URL.Query().Get("backend"))
 	start := time.Now()
-	answers, hit, err := s.CachedQuery(r.Context(), name, q)
+	answers, hit, err := s.CachedQueryBackend(r.Context(), name, backend, q)
 	s.stats.recordQuery(time.Since(start))
 	if err != nil {
 		writeQueryError(w, err)
@@ -334,10 +381,17 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Advisor: name,
 		Query:   q,
+		Backend: backend,
 		Count:   len(answers),
 		Answers: toAnswers(answers),
 		TraceID: obs.TraceID(r.Context()),
 	})
+}
+
+// handleBackends lists the scoring backends every advisor offers, default
+// first — clients use it to populate a backend picker.
+func (s *Service) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, BackendsResponse{Default: vsm.BackendVSM, Backends: vsm.Backends()})
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -395,11 +449,14 @@ func parseReport(text string) (*nvvp.Report, error) {
 }
 
 // writeQueryError maps CachedQuery errors onto status codes: unknown advisor
-// → 404, overload → 429, deadline → 503, anything else → 500.
+// → 404, unknown backend → 400, overload → 429, deadline → 503, anything
+// else → 500.
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownAdvisor):
 		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, vsm.ErrUnknownBackend):
+		writeError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")

@@ -77,11 +77,19 @@ type Stats struct {
 	errors5xx *obs.Counter // responses with status >= 500
 	inFlight  *obs.Gauge   // requests currently inside a /v1 handler
 
+	batches    *obs.Counter // /v1/batch requests answered
+	batchItems *obs.Counter // queries answered inside batches
+	asks       *obs.Counter // /v1/ask federated queries answered
+
 	queryRing  latencyRing // latency of /v1/{advisor}/query (last 1024)
 	reportRing latencyRing // latency of /v1/{advisor}/report (last 1024)
+	batchRing  latencyRing // latency of /v1/batch (last 1024)
+	askRing    latencyRing // latency of /v1/ask (last 1024)
 
 	queryHist  *obs.Histogram // latency of every query since process start
 	reportHist *obs.Histogram // latency of every report since process start
+	batchHist  *obs.Histogram // latency of every batch since process start
+	askHist    *obs.Histogram // latency of every federated ask since start
 }
 
 // newStats wires a Stats into reg under the service_* metric names.
@@ -97,8 +105,13 @@ func newStats(reg *obs.Registry) *Stats {
 		timeouts:   reg.Counter("service_timeouts_total"),
 		errors5xx:  reg.Counter("service_errors_5xx_total"),
 		inFlight:   reg.Gauge("service_in_flight"),
+		batches:    reg.Counter("service_batches_total"),
+		batchItems: reg.Counter("service_batch_items_total"),
+		asks:       reg.Counter("service_asks_total"),
 		queryHist:  reg.Histogram("service_query_latency_micros"),
 		reportHist: reg.Histogram("service_report_latency_micros"),
+		batchHist:  reg.Histogram("service_batch_latency_micros"),
+		askHist:    reg.Histogram("service_ask_latency_micros"),
 	}
 }
 
@@ -114,6 +127,21 @@ func (s *Stats) recordReport(d time.Duration) {
 	s.reportHist.ObserveDuration(d)
 }
 
+// recordBatch records one /v1/batch latency and its item count.
+func (s *Stats) recordBatch(d time.Duration, items int) {
+	s.batches.Add(1)
+	s.batchItems.Add(int64(items))
+	s.batchRing.record(d)
+	s.batchHist.ObserveDuration(d)
+}
+
+// recordAsk records one /v1/ask federated-query latency.
+func (s *Stats) recordAsk(d time.Duration) {
+	s.asks.Add(1)
+	s.askRing.record(d)
+	s.askHist.ObserveDuration(d)
+}
+
 // StatsSnapshot is the JSON shape served on /statsz.
 type StatsSnapshot struct {
 	Requests    int64 `json:"requests"`
@@ -126,16 +154,25 @@ type StatsSnapshot struct {
 	InFlight    int64 `json:"in_flight"`
 	CacheSize   int   `json:"cache_size"`
 	Advisors    int   `json:"advisors"`
+	Batches     int64 `json:"batches"`
+	BatchItems  int64 `json:"batch_items"`
+	Asks        int64 `json:"asks"`
 
 	QueryP50Micros  int64 `json:"query_p50_micros"`
 	QueryP99Micros  int64 `json:"query_p99_micros"`
 	ReportP50Micros int64 `json:"report_p50_micros"`
 	ReportP99Micros int64 `json:"report_p99_micros"`
+	BatchP50Micros  int64 `json:"batch_p50_micros"`
+	BatchP99Micros  int64 `json:"batch_p99_micros"`
+	AskP50Micros    int64 `json:"ask_p50_micros"`
+	AskP99Micros    int64 `json:"ask_p99_micros"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	qp := s.queryRing.percentiles(0.50, 0.99)
 	rp := s.reportRing.percentiles(0.50, 0.99)
+	bp := s.batchRing.percentiles(0.50, 0.99)
+	ap := s.askRing.percentiles(0.50, 0.99)
 	return StatsSnapshot{
 		Requests:        s.requests.Value(),
 		CacheHits:       s.hits.Value(),
@@ -145,9 +182,16 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Timeouts:        s.timeouts.Value(),
 		Errors5xx:       s.errors5xx.Value(),
 		InFlight:        s.inFlight.Value(),
+		Batches:         s.batches.Value(),
+		BatchItems:      s.batchItems.Value(),
+		Asks:            s.asks.Value(),
 		QueryP50Micros:  qp[0].Microseconds(),
 		QueryP99Micros:  qp[1].Microseconds(),
 		ReportP50Micros: rp[0].Microseconds(),
 		ReportP99Micros: rp[1].Microseconds(),
+		BatchP50Micros:  bp[0].Microseconds(),
+		BatchP99Micros:  bp[1].Microseconds(),
+		AskP50Micros:    ap[0].Microseconds(),
+		AskP99Micros:    ap[1].Microseconds(),
 	}
 }

@@ -1,8 +1,11 @@
 package vsm
 
 import (
+	"context"
 	"math"
+	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/textproc"
 )
 
@@ -12,107 +15,112 @@ const (
 	bm25B  = 0.75
 )
 
-// BM25Index scores sentences with Okapi BM25 — the retrieval ablation
-// against the paper's TF-IDF/VSM choice (Eqs. 1-2). Built from the same
-// normalized term stream as Index.
-type BM25Index struct {
-	vocab  map[string]int
-	idf    []float64 // BM25 idf: log((N - df + .5)/(df + .5) + 1)
-	docs   [][]entry // raw term frequencies per sentence (sorted by term)
-	lens   []float64 // token counts
-	avgLen float64
-	n      int
+// BM25 scores sentences with Okapi BM25 over the *same* inverted postings
+// as the TF-IDF index it derives from: every posting carries the term's raw
+// frequency alongside its cosine weight, so this view adds only the BM25
+// IDF table and the per-document length-normalization denominators — no
+// second tokenization pass, no second postings store. It is the retrieval
+// ablation against the paper's TF-IDF/VSM choice (Eqs. 1-2), selectable per
+// query in the serving layer. BM25 scores are unbounded and NOT comparable
+// with cosine similarities; compare them only within this backend.
+//
+// Unlike the cosine backend, BM25 keeps contributions from zero-IDF terms
+// (terms appearing in every document): their BM25 IDF log(1 + 1/(2N+1)) is
+// small but positive, matching the standard formulation.
+type BM25 struct {
+	ix   *Index
+	idf  []float64 // log((N - df + .5)/(df + .5) + 1), per term id
+	norm []float64 // k1*(1 - b + b*len/avgLen), per document
 }
 
-// BuildBM25 constructs a BM25 index over raw sentences.
-func BuildBM25(sentences []string) *BM25Index {
-	ix := &BM25Index{vocab: map[string]int{}, n: len(sentences)}
-	var df []int
-	termLists := make([][]string, len(sentences))
-	var totalLen float64
-	for i, s := range sentences {
-		terms := textproc.NormalizeTerms(s)
-		termLists[i] = terms
-		ix.lens = append(ix.lens, float64(len(terms)))
-		totalLen += float64(len(terms))
-		seen := map[int]bool{}
-		for _, t := range terms {
-			id, ok := ix.vocab[t]
-			if !ok {
-				id = len(ix.vocab)
-				ix.vocab[t] = id
-				df = append(df, 0)
+// BM25 returns the BM25 scoring view over this index's postings, built
+// lazily on first use and cached (an Index is immutable after Build, so the
+// view is safe to share across goroutines).
+func (ix *Index) BM25() *BM25 {
+	ix.bm25Once.Do(func() {
+		b := &BM25{ix: ix, idf: make([]float64, len(ix.idf)), norm: make([]float64, ix.n)}
+		var total float64
+		for _, l := range ix.docLens {
+			total += float64(l)
+		}
+		var avg float64
+		if ix.n > 0 {
+			avg = total / float64(ix.n)
+		}
+		n := float64(ix.n)
+		for t := range b.idf {
+			df := float64(len(ix.postings[t]))
+			b.idf[t] = math.Log((n-df+0.5)/(df+0.5) + 1)
+		}
+		for d, l := range ix.docLens {
+			if avg > 0 {
+				b.norm[d] = bm25K1 * (1 - bm25B + bm25B*float64(l)/avg)
+			} else {
+				b.norm[d] = bm25K1
 			}
-			if !seen[id] {
-				df[id]++
-				seen[id] = true
-			}
 		}
-	}
-	if ix.n > 0 {
-		ix.avgLen = totalLen / float64(ix.n)
-	}
-	ix.idf = make([]float64, len(df))
-	for id, d := range df {
-		ix.idf[id] = math.Log((float64(ix.n)-float64(d)+0.5)/(float64(d)+0.5) + 1)
-	}
-	ix.docs = make([][]entry, ix.n)
-	for i, terms := range termLists {
-		tf := map[int]float64{}
-		for _, t := range terms {
-			tf[ix.vocab[t]]++
-		}
-		vec := make([]entry, 0, len(tf))
-		for id, f := range tf {
-			vec = append(vec, entry{term: id, weight: f})
-		}
-		sortEntries(vec)
-		ix.docs[i] = vec
-	}
-	return ix
+		ix.bm25 = b
+	})
+	return ix.bm25
 }
 
-func sortEntries(v []entry) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j].term < v[j-1].term; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
-}
+// BuildBM25 constructs a BM25 scorer over raw sentences — the standalone
+// entry point for experiments; a serving layer uses Index.BM25 so both
+// backends share one postings store.
+func BuildBM25(sentences []string) *BM25 { return Build(sentences).BM25() }
 
-// Scores returns the BM25 score of every sentence for the query.
-func (ix *BM25Index) Scores(query string) []float64 {
-	qTerms := textproc.NormalizeTerms(query)
-	out := make([]float64, ix.n)
-	qIDs := map[int]bool{}
-	for _, t := range qTerms {
-		if id, ok := ix.vocab[t]; ok {
-			qIDs[id] = true
+// Backend implements Scorer.
+func (b *BM25) Backend() string { return BackendBM25 }
+
+// ScoreTerms returns the BM25 score of every sentence for a pre-normalized
+// query term list. Duplicate query terms count once (the standard binary
+// query model). Accumulation walks query terms in ascending term-id order,
+// so identical queries produce bit-identical scores.
+func (b *BM25) ScoreTerms(terms []string) []float64 {
+	out := make([]float64, b.ix.n)
+	seen := map[int]bool{}
+	ids := make([]int, 0, len(terms))
+	for _, t := range terms {
+		if id, ok := b.ix.vocab[t]; ok && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
 		}
 	}
-	if len(qIDs) == 0 {
-		return out
-	}
-	for i, doc := range ix.docs {
-		norm := bm25K1 * (1 - bm25B + bm25B*ix.lens[i]/ix.avgLen)
-		var s float64
-		for _, e := range doc {
-			if !qIDs[e.term] {
-				continue
-			}
-			s += ix.idf[e.term] * (e.weight * (bm25K1 + 1)) / (e.weight + norm)
+	sort.Ints(ids)
+	for _, t := range ids {
+		idf := b.idf[t]
+		for _, p := range b.ix.postings[t] {
+			tf := float64(p.tf)
+			out[p.doc] += idf * tf * (bm25K1 + 1) / (tf + b.norm[p.doc])
 		}
-		out[i] = s
 	}
 	return out
 }
 
-// TopK returns the indices of the k best-scoring sentences with positive
-// score, best first (ties by index).
-func (ix *BM25Index) TopK(query string, k int) []Match {
-	scores := ix.Scores(query)
+// ScoreTermsCtx implements Scorer: ScoreTerms with an optional trace span.
+func (b *BM25) ScoreTermsCtx(ctx context.Context, terms []string) []float64 {
+	if parent := obs.SpanFrom(ctx); parent != nil {
+		span := parent.StartChild("bm25.score")
+		span.SetAttrInt("query_terms", len(terms))
+		span.SetAttrInt("docs", b.ix.n)
+		defer span.Finish()
+	}
+	return b.ScoreTerms(terms)
+}
+
+// Scores returns the BM25 score of every sentence for raw query text.
+func (b *BM25) Scores(query string) []float64 {
+	return b.ScoreTerms(textproc.NormalizeTerms(query))
+}
+
+// TopK returns the k best-scoring sentences with positive score, best first
+// (ties by ascending index); k <= 0 returns nothing.
+func (b *BM25) TopK(query string, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
 	var matches []Match
-	for i, s := range scores {
+	for i, s := range b.Scores(query) {
 		if s > 0 {
 			matches = append(matches, Match{Index: i, Score: s})
 		}

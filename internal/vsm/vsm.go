@@ -36,11 +36,14 @@ type entry struct {
 	weight float64
 }
 
-// posting is one inverted-index entry: a document containing a term, with the
-// term's normalized TF-IDF weight in that document.
+// posting is one inverted-index entry: a document containing a term, with
+// the term's raw frequency and its normalized TF-IDF weight in that
+// document. The weight drives the cosine backend; the raw frequency is what
+// the BM25 backend scores from — both backends walk the same lists.
 type posting struct {
 	doc    int32
-	weight float64
+	tf     float32 // raw term frequency (BM25 backend)
+	weight float64 // normalized TF-IDF weight (cosine backend)
 }
 
 // Index is a TF-IDF weighted vector space over a fixed sentence set.
@@ -49,7 +52,11 @@ type Index struct {
 	idf      []float64
 	vecs     [][]entry   // L2-normalized sparse vectors, sorted by term id
 	postings [][]posting // per term id, ascending doc order
+	docLens  []int32     // normalized term count per sentence (BM25 length norm)
 	n        int         // number of sentences
+
+	bm25Once sync.Once // lazily-built BM25 view over the same postings
+	bm25     *BM25
 }
 
 // Match is one retrieval result.
@@ -122,19 +129,71 @@ func BuildFromTerms(termLists [][]string) *Index {
 		ix.idf[id] = math.Log(float64(ix.n) / float64(dfByTerm[t]))
 	}
 	ix.vecs = make([][]entry, ix.n)
+	ix.docLens = make([]int32, ix.n)
+	full := make([][]docEntry, ix.n)
 	for i, terms := range termLists {
-		ix.vecs[i] = ix.vectorize(terms)
+		ix.docLens[i] = int32(len(terms))
+		full[i] = ix.vectorizeDoc(terms)
+		vec := make([]entry, 0, len(full[i]))
+		for _, e := range full[i] {
+			if e.weight != 0 {
+				vec = append(vec, entry{term: e.term, weight: e.weight})
+			}
+		}
+		ix.vecs[i] = vec
 	}
-	ix.buildPostings()
+	ix.buildPostings(full)
 	return ix
 }
 
-// buildPostings derives the inverted index from the document vectors. Each
-// term's posting list is in ascending document order because documents are
-// visited in order.
-func (ix *Index) buildPostings() {
+// docEntry is one document-vector component before the zero-weight filter:
+// every in-vocabulary term of the document with its raw frequency and its
+// normalized TF-IDF weight (0 for terms appearing in every document).
+type docEntry struct {
+	term   int
+	tf     float32
+	weight float64
+}
+
+// vectorizeDoc converts a document's term list into the full sorted entry
+// list, keeping zero-weight (zero-IDF) terms so the postings retain their
+// raw frequencies for the BM25 backend. The nonzero weights are
+// bit-identical to vectorize's: the zero entries contribute exactly 0.0 to
+// the norm accumulation, which never changes a non-negative partial sum.
+func (ix *Index) vectorizeDoc(terms []string) []docEntry {
+	tf := map[int]float64{}
+	for _, t := range terms {
+		if id, ok := ix.vocab[t]; ok {
+			tf[id]++
+		}
+	}
+	vec := make([]docEntry, 0, len(tf))
+	for id, f := range tf {
+		vec = append(vec, docEntry{term: id, tf: float32(f), weight: f * ix.idf[id]})
+	}
+	sort.Slice(vec, func(a, b int) bool { return vec[a].term < vec[b].term })
+	var norm float64
+	for i := range vec {
+		norm += vec[i].weight * vec[i].weight
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range vec {
+			vec[i].weight /= norm
+		}
+	}
+	return vec
+}
+
+// buildPostings derives the shared inverted index from the full document
+// vectors. Each term's posting list is in ascending document order because
+// documents are visited in order. Lists include zero-weight postings for
+// zero-IDF terms (terms in every document): cosine queries never walk them
+// (query vectors drop zero-weight terms), but the BM25 backend needs their
+// raw frequencies.
+func (ix *Index) buildPostings(docs [][]docEntry) {
 	counts := make([]int, len(ix.idf))
-	for _, vec := range ix.vecs {
+	for _, vec := range docs {
 		for _, e := range vec {
 			counts[e.term]++
 		}
@@ -145,9 +204,9 @@ func (ix *Index) buildPostings() {
 			ix.postings[t] = make([]posting, 0, c)
 		}
 	}
-	for d, vec := range ix.vecs {
+	for d, vec := range docs {
 		for _, e := range vec {
-			ix.postings[e.term] = append(ix.postings[e.term], posting{doc: int32(d), weight: e.weight})
+			ix.postings[e.term] = append(ix.postings[e.term], posting{doc: int32(d), tf: e.tf, weight: e.weight})
 		}
 	}
 }
@@ -308,17 +367,43 @@ func (ix *Index) QueryAllTerms(terms []string) []float64 {
 
 // QueryAllTermsCtx is QueryAllTerms under a trace: when the context carries
 // a sampled span, the scoring pass is recorded as a "vsm.score" child span
-// with the query and index sizes as attributes.
+// with the query and index sizes as attributes. A context marked with
+// WithSerialScoring keeps the whole pass on the calling goroutine (scores
+// are bit-identical either way; see TestSerialScoringBitIdentical).
 func (ix *Index) QueryAllTermsCtx(ctx context.Context, terms []string) []float64 {
-	parent := obs.SpanFrom(ctx)
-	if parent == nil {
-		return ix.QueryAllTerms(terms)
+	serial := SerialScoring(ctx)
+	if parent := obs.SpanFrom(ctx); parent != nil {
+		span := parent.StartChild("vsm.score")
+		span.SetAttrInt("query_terms", len(terms))
+		span.SetAttrInt("docs", ix.n)
+		if serial {
+			span.SetAttr("mode", "serial")
+		}
+		defer span.Finish()
 	}
-	span := parent.StartChild("vsm.score")
-	span.SetAttrInt("query_terms", len(terms))
-	span.SetAttrInt("docs", ix.n)
-	defer span.Finish()
+	if serial {
+		return ix.serialScanVec(ix.vectorize(terms))
+	}
 	return ix.QueryAllTerms(terms)
+}
+
+// serialScanVec scores every document on the calling goroutine — the
+// batch-executor path, where parallelism lives across queries rather than
+// inside one.
+func (ix *Index) serialScanVec(qv []entry) []float64 {
+	start := time.Now()
+	defer func() {
+		scoreHist.ObserveDuration(time.Since(start))
+		queriesScored.Inc()
+	}()
+	scores := make([]float64, ix.n)
+	if len(qv) == 0 {
+		return scores
+	}
+	for i, v := range ix.vecs {
+		scores[i] = dot(v, qv)
+	}
+	return scores
 }
 
 func (ix *Index) queryAllVec(qv []entry) []float64 {
@@ -377,8 +462,14 @@ func (ix *Index) QuerySerial(query string) []float64 {
 	return scores
 }
 
-// TopK returns the k best matches at or above threshold.
+// TopK returns the k best matches at or above threshold (nothing for
+// k <= 0). Ties at the threshold boundary are kept — the cut happens on
+// count, not on score — and ties within the list resolve by ascending
+// sentence index, so the kept prefix is deterministic.
 func (ix *Index) TopK(query string, k int, threshold float64) []Match {
+	if k <= 0 {
+		return nil
+	}
 	m := ix.Query(query, threshold)
 	if len(m) > k {
 		m = m[:k]

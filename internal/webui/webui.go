@@ -28,12 +28,24 @@ var (
 	renderHist   = obs.Default().Histogram("webui_render_micros")
 )
 
+// FederatedHit is one advisor's answer inside the federated /ask page —
+// the webui's own view of a cross-advisor result, so the package stays
+// decoupled from the serving layer's wire types.
+type FederatedHit struct {
+	Advisor string
+	Section string
+	Text    string
+	Score   float64 // raw backend score, advisor-local scale
+	Norm    float64 // score / that advisor's best score
+}
+
 // Server wraps an Advisor with HTTP handlers.
 type Server struct {
-	advisor *core.Advisor
-	title   string
-	mux     *http.ServeMux
-	querier func(ctx context.Context, q string) []core.Answer // optional shared retrieval path
+	advisor   *core.Advisor
+	title     string
+	mux       *http.ServeMux
+	querier   func(ctx context.Context, backend, q string) []core.Answer         // optional shared retrieval path
+	federator func(ctx context.Context, backend, q string, k int) []FederatedHit // optional cross-advisor ask
 }
 
 // New creates a Server for an advisor. title labels the pages
@@ -42,6 +54,7 @@ func New(advisor *core.Advisor, title string) *Server {
 	s := &Server{advisor: advisor, title: title, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/ask", s.handleAsk)
 	s.mux.HandleFunc("/report", s.handleReport)
 	s.mux.HandleFunc("/doc", s.handleDoc)
 	return s
@@ -49,20 +62,37 @@ func New(advisor *core.Advisor, title string) *Server {
 
 // SetQuerier routes retrieval through f instead of calling the advisor
 // directly — the hook that lets the HTML UI share a serving layer's query
-// cache and admission control. The context carries the request's trace
-// span (if sampled), so shared-path queries appear in the request's trace
-// tree. Call before serving traffic.
-func (s *Server) SetQuerier(f func(ctx context.Context, q string) []core.Answer) { s.querier = f }
+// cache and admission control. backend selects the scoring model ("" for
+// the default VSM). The context carries the request's trace span (if
+// sampled), so shared-path queries appear in the request's trace tree.
+// Call before serving traffic.
+func (s *Server) SetQuerier(f func(ctx context.Context, backend, q string) []core.Answer) {
+	s.querier = f
+}
+
+// SetFederator routes the /ask page through f, typically a serving layer's
+// cross-advisor federation (each advisor's k best answers, merged by
+// normalized score). Without a federator, /ask degrades to this server's
+// single advisor. Call before serving traffic.
+func (s *Server) SetFederator(f func(ctx context.Context, backend, q string, k int) []FederatedHit) {
+	s.federator = f
+}
 
 // query answers q through the shared querier when one is installed; the
 // standalone fallback goes through the annotation path (normalize once,
-// score the terms) like the serving layer does.
-func (s *Server) query(ctx context.Context, q string) []core.Answer {
+// score the terms) like the serving layer does. An unknown backend falls
+// back to the default scoring rather than erroring — the HTML form only
+// offers valid backends.
+func (s *Server) query(ctx context.Context, backend, q string) []core.Answer {
 	queriesTotal.Inc()
 	if s.querier != nil {
-		return s.querier(ctx, q)
+		return s.querier(ctx, backend, q)
 	}
-	return s.advisor.QueryTermsCtx(ctx, nlp.QueryTerms(q))
+	answers, err := s.advisor.QueryTermsBackendCtx(ctx, backend, nlp.QueryTerms(q))
+	if err != nil {
+		return s.advisor.QueryTermsCtx(ctx, nlp.QueryTerms(q))
+	}
+	return answers
 }
 
 // ServeHTTP implements http.Handler.
@@ -86,7 +116,12 @@ textarea { width: 100%; height: 8em; }
 (ratio {{printf "%.1f" .Ratio}}).</p>
 <form action="/query" method="GET">
   <input type="text" name="q" size="60" placeholder="Ask an optimization question">
+  <select name="backend">{{range .Backends}}<option value="{{.}}">{{.}}</option>{{end}}</select>
   <input type="submit" value="Search">
+</form>
+<form action="/ask" method="GET">
+  <input type="text" name="q" size="60" placeholder="Ask every advisor at once">
+  <input type="submit" value="Ask all">
 </form>
 <form action="/report" method="POST">
   <p>Or paste an NVVP analysis report:</p>
@@ -148,12 +183,13 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		groups = append(groups, ruleGroup{Section: sec, Anchor: anchorFor(sec), Rules: bySection[sec]})
 	}
 	data := struct {
-		Title  string
-		Count  int
-		Total  int
-		Ratio  float64
-		Groups []ruleGroup
-	}{s.title, len(rules), s.advisor.SentenceCount(), s.advisor.CompressionRatio(), groups}
+		Title    string
+		Count    int
+		Total    int
+		Ratio    float64
+		Backends []string
+		Groups   []ruleGroup
+	}{s.title, len(rules), s.advisor.SentenceCount(), s.advisor.CompressionRatio(), s.advisor.Backends(), groups}
 	render(w, indexTmpl, data)
 }
 
@@ -197,12 +233,77 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Redirect(w, r, "/", http.StatusSeeOther)
 		return
 	}
-	answers := s.query(r.Context(), q)
+	backend := strings.TrimSpace(r.URL.Query().Get("backend"))
+	answers := s.query(r.Context(), backend, q)
+	heading := "Query: " + q
+	if backend != "" {
+		heading += " (" + backend + ")"
+	}
 	data := struct {
 		Title  string
 		Blocks []answerBlock
-	}{s.title, []answerBlock{s.answersToBlock("Query: "+q, answers)}}
+	}{s.title, []answerBlock{s.answersToBlock(heading, answers)}}
 	render(w, answerTmpl, data)
+}
+
+var askTmpl = template.Must(template.New("ask").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}} — federated answers</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+.hit { background: #ffec8b; margin: .3em 0 .3em 1.5em; padding: .15em; }
+.advisor { color: #06c; font-weight: bold; margin-right: .5em; }
+.section { color: #444; font-style: italic; }
+.score { color: #888; font-size: .8em; }
+</style></head><body>
+<h1>{{.Title}} — every advisor</h1>
+<p><a href="/">back to the rule list</a></p>
+<div class="issue">Ask: {{.Query}}</div>
+{{if not .Hits}}<p>No advisor had a relevant sentence.</p>{{end}}
+{{range .Hits}}
+<div class="hit"><span class="advisor">{{.Advisor}}</span>{{.Text}}
+<span class="score">(norm {{printf "%.2f" .Norm}}, score {{printf "%.2f" .Score}})</span><br>
+<span class="section">{{.Section}}</span></div>
+{{end}}
+</body></html>`))
+
+// handleAsk renders the federated cross-advisor view. With a federator
+// installed the question fans out to every registered advisor; standalone,
+// it degrades to this server's single advisor presented in the same shape.
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	backend := strings.TrimSpace(r.URL.Query().Get("backend"))
+	var hits []FederatedHit
+	if s.federator != nil {
+		hits = s.federator(r.Context(), backend, q, 3)
+	} else {
+		answers := s.query(r.Context(), backend, q)
+		if len(answers) > 3 {
+			answers = answers[:3]
+		}
+		for _, a := range answers {
+			norm := 0.0
+			if best := answers[0].Score; best > 0 {
+				norm = a.Score / best
+			}
+			hits = append(hits, FederatedHit{
+				Advisor: s.title,
+				Section: a.Sentence.Section,
+				Text:    a.Sentence.Text,
+				Score:   a.Score,
+				Norm:    norm,
+			})
+		}
+	}
+	data := struct {
+		Title string
+		Query string
+		Hits  []FederatedHit
+	}{s.title, q, hits}
+	render(w, askTmpl, data)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -234,7 +335,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	for _, issue := range report.Issues() {
 		// each issue is answered through the shared query path, so report
 		// uploads also benefit from (and warm) the serving cache
-		blocks = append(blocks, s.answersToBlock("Issue: "+issue.Title, s.query(r.Context(), issue.Query())))
+		blocks = append(blocks, s.answersToBlock("Issue: "+issue.Title, s.query(r.Context(), "", issue.Query())))
 	}
 	if len(blocks) == 0 {
 		blocks = []answerBlock{{Heading: "Report " + report.Program, Empty: true}}

@@ -221,7 +221,7 @@ func min(a, b int) int {
 func TestSetQuerierRoutesRetrieval(t *testing.T) {
 	s := testServer(t)
 	var got []string
-	s.SetQuerier(func(_ context.Context, q string) []core.Answer {
+	s.SetQuerier(func(_ context.Context, _ string, q string) []core.Answer {
 		got = append(got, q)
 		return []core.Answer{{
 			Sentence: core.AdvisingSentence{Index: 0, Text: "use the shared path"},

@@ -1,0 +1,134 @@
+// Command coverreport turns a `go test -coverprofile` file into a
+// per-package statement-coverage table plus the repo total, and optionally
+// enforces a floor:
+//
+//	go test -coverprofile=coverage.out ./...
+//	go run ./tools/coverreport -profile coverage.out -baseline 84.0
+//
+// With -baseline, the command exits 1 when total coverage falls below the
+// floor — the regression gate `make cover` runs in CI. Coverage is counted
+// in statements (the unit the cover tool records), so the total matches
+// what `go tool cover -func` reports as "total:".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCov accumulates covered/total statement counts for one package.
+type pkgCov struct {
+	covered int
+	total   int
+}
+
+func pct(covered, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(covered) / float64(total)
+}
+
+// parseProfile reads a cover profile in "set" or "count" mode. Each line
+// after the mode header is
+//
+//	name.go:line.col,line.col numStmts hitCount
+//
+// and a statement counts as covered when its hit count is nonzero.
+func parseProfile(path string) (map[string]*pkgCov, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	byPkg := map[string]*pkgCov{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		colon := strings.LastIndex(line, ".go:")
+		if colon < 0 {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		file := line[:colon+3]
+		pkg := file
+		if slash := strings.LastIndex(file, "/"); slash >= 0 {
+			pkg = file[:slash]
+		}
+		fields := strings.Fields(line[colon+4:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad statement count in %q: %v", line, err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad hit count in %q: %v", line, err)
+		}
+		c := byPkg[pkg]
+		if c == nil {
+			c = &pkgCov{}
+			byPkg[pkg] = c
+		}
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+	}
+	return byPkg, sc.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coverreport: ")
+	profile := flag.String("profile", "coverage.out", "cover profile produced by go test -coverprofile")
+	baseline := flag.Float64("baseline", 0, "fail (exit 1) when total statement coverage drops below this percentage; 0 disables the gate")
+	flag.Parse()
+
+	byPkg, err := parseProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(byPkg) == 0 {
+		log.Fatal("profile holds no coverage blocks")
+	}
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	width := len("TOTAL")
+	for _, p := range pkgs {
+		if len(p) > width {
+			width = len(p)
+		}
+	}
+	var covered, total int
+	for _, p := range pkgs {
+		c := byPkg[p]
+		covered += c.covered
+		total += c.total
+		fmt.Printf("%-*s  %6.1f%%  (%d/%d statements)\n", width, p, pct(c.covered, c.total), c.covered, c.total)
+	}
+	totalPct := pct(covered, total)
+	fmt.Printf("%-*s  %6.1f%%  (%d/%d statements)\n", width, "TOTAL", totalPct, covered, total)
+
+	if *baseline > 0 && totalPct < *baseline {
+		log.Fatalf("total coverage %.1f%% is below the %.1f%% baseline", totalPct, *baseline)
+	}
+	if *baseline > 0 {
+		fmt.Printf("coverage gate: %.1f%% >= %.1f%% baseline\n", totalPct, *baseline)
+	}
+}
