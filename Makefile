@@ -21,6 +21,7 @@ fuzz: ## run every fuzz target for $(FUZZTIME) (default 10s each)
 	go test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/htmldoc
 	go test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/depparse
 	go test -run '^$$' -fuzz FuzzQuery -fuzztime $(FUZZTIME) ./internal/service
+	go test -run '^$$' -fuzz FuzzLoadAdvisor -fuzztime $(FUZZTIME) ./internal/core
 
 build:
 	go build ./...
@@ -34,8 +35,9 @@ race:
 # Trajectory benchmarks: the fixed-size numbers tracked across PRs.
 # Flags are pinned so results stay comparable between runs.
 BENCH_TRACKED = BenchmarkBuildAdvisor150|BenchmarkAnnotateOnce|BenchmarkServiceQuery
-bench: ## cross-PR trajectory benchmarks (build pipeline, annotate-once, serving)
+bench: ## cross-PR trajectory benchmarks (build pipeline, annotate-once, serving, warm start)
 	go test -run '^$$' -bench '$(BENCH_TRACKED)' -benchmem -count 1 .
+	go test -run '^$$' -bench 'BenchmarkColdBuild|BenchmarkWarmStart' -benchmem -count 1 ./internal/lifecycle
 
 bench-all: ## full sweep: per-table benchmarks + serving/index ablations
 	go test -run '^$$' -bench . -benchmem ./...

@@ -29,6 +29,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,10 +47,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/htmldoc"
+	"repro/internal/lifecycle"
 	"repro/internal/nvvp"
 	"repro/internal/obs"
 	"repro/internal/selectors"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/webui"
 )
 
@@ -73,6 +76,11 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "max queries accepted per POST /v1/batch request")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request deadline")
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests whose span trees are recorded for /tracez (0 = off, 1 = every request)")
+
+		// corpus lifecycle flags (serve subcommand)
+		snapshotDir     = flag.String("snapshot-dir", "", "directory of advisor snapshots: serve warm-starts from it and persists rebuilds to it (empty: cold build, no persistence)")
+		watch           = flag.Bool("watch", false, "poll source documents and hot-reload advisors when they change")
+		rebuildInterval = flag.Duration("rebuild-interval", 15*time.Second, "poll period for -watch")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -98,23 +106,32 @@ func main() {
 		cfg = cfg.Merge(extra)
 	}
 	fw := core.New(core.WithConfig(cfg), core.WithThreshold(*threshold))
-	advisor, title, err := buildAdvisor(fw, *docPath, *corpusReg, *seed)
-	if err != nil {
-		log.Fatal(err)
+	// rules/query/report/repl/save build the advisor in-process; serve warm
+	// starts from the snapshot store (cold-building only what is missing),
+	// and load reads a snapshot file instead of building anything
+	buildNow := func() (*core.Advisor, string) {
+		advisor, title, err := buildAdvisor(fw, *docPath, *corpusReg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return advisor, title
 	}
 
 	switch args[0] {
 	case "rules":
+		advisor, _ := buildNow()
 		cmdRules(advisor)
 	case "query":
 		if len(args) < 2 {
 			log.Fatal("query requires the question text")
 		}
+		advisor, _ := buildNow()
 		cmdQuery(advisor, strings.Join(args[1:], " "))
 	case "report":
 		if len(args) < 2 {
 			log.Fatal("report requires a program name or report file")
 		}
+		advisor, _ := buildNow()
 		cmdReport(advisor, args[1])
 	case "serve":
 		// accept flags after the subcommand too ("serve -addr :8080", the
@@ -125,25 +142,36 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		if err := cmdServe(fw, advisor, title, serveConfig{
-			addr:        *addr,
-			primaryName: primaryAdvisorName(*corpusReg, *docPath),
-			extra:       splitList(*corpora),
-			seed:        *seed,
-			cacheSize:   *cacheSize,
-			maxInflight: *maxInflight,
-			maxBatch:    *maxBatch,
-			timeout:     *timeout,
-			traceSample: *traceSample,
+		if *docPath == "" && *corpusReg == "" {
+			log.Fatal("serve needs one of -doc or -corpus")
+		}
+		if err := cmdServe(fw, serveConfig{
+			addr:            *addr,
+			primaryName:     primaryAdvisorName(*corpusReg, *docPath),
+			docPath:         *docPath,
+			corpusReg:       *corpusReg,
+			extra:           splitList(*corpora),
+			seed:            *seed,
+			cfgHash:         configFingerprint(cfg, *threshold),
+			snapshotDir:     *snapshotDir,
+			watch:           *watch,
+			rebuildInterval: *rebuildInterval,
+			cacheSize:       *cacheSize,
+			maxInflight:     *maxInflight,
+			maxBatch:        *maxBatch,
+			timeout:         *timeout,
+			traceSample:     *traceSample,
 		}); err != nil {
 			log.Fatal(err)
 		}
 	case "repl":
+		advisor, title := buildNow()
 		cmdREPL(advisor, title)
 	case "save":
 		if len(args) < 2 {
 			log.Fatal("save requires an output path")
 		}
+		advisor, _ := buildNow()
 		f, err := os.Create(args[1])
 		if err != nil {
 			log.Fatal(err)
@@ -154,7 +182,16 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("advisor saved to %s (reload with LoadAdvisor)", args[1])
+		log.Printf("advisor saved to %s (use it with: egeria load %s query ...)", args[1], args[1])
+	case "load":
+		// load <snapshot> <rules|query|report|repl> [...] — serve a saved
+		// advisor without -doc/-corpus or a Stage-I rebuild
+		if len(args) < 3 {
+			log.Fatal("load requires a snapshot path and a subcommand (rules, query, report, repl)")
+		}
+		if err := cmdLoad(args[1], args[2], args[3:]); err != nil {
+			log.Fatal(err)
+		}
 	case "export":
 		if len(args) < 2 {
 			log.Fatal("export requires an output path")
@@ -167,8 +204,65 @@ func main() {
 		}
 		log.Printf("synthetic guide exported to %s", args[1])
 	default:
-		log.Fatalf("unknown subcommand %q (want rules, query, report, repl, serve, save, export)", args[0])
+		log.Fatalf("unknown subcommand %q (want rules, query, report, repl, serve, save, load, export)", args[0])
 	}
+}
+
+// cmdLoad answers a subcommand from a snapshot file written by save,
+// skipping Stage I entirely.
+func cmdLoad(path, sub string, rest []string) error {
+	advisor, err := loadAdvisorFile(path)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "rules":
+		cmdRules(advisor)
+	case "query":
+		if len(rest) == 0 {
+			return fmt.Errorf("load %s query requires the question text", path)
+		}
+		cmdQuery(advisor, strings.Join(rest, " "))
+	case "report":
+		if len(rest) == 0 {
+			return fmt.Errorf("load %s report requires a program name or report file", path)
+		}
+		cmdReport(advisor, rest[0])
+	case "repl":
+		cmdREPL(advisor, advisor.Title())
+	default:
+		return fmt.Errorf("load: unknown subcommand %q (want rules, query, report, repl)", sub)
+	}
+	return nil
+}
+
+// loadAdvisorFile reads one advisor snapshot as written by save (a raw
+// versioned gob stream, the same payload the snapshot store manages).
+func loadAdvisorFile(path string) (*core.Advisor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	advisor, err := core.LoadAdvisor(f)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	base := filepath.Base(path)
+	advisor.SetName(strings.TrimSuffix(base, filepath.Ext(base)))
+	return advisor, nil
+}
+
+// configFingerprint hashes everything Stage I depends on besides the
+// document: the keyword configuration and the recommendation threshold.
+// selectors.Config is plain string slices, so the JSON encoding is
+// deterministic.
+func configFingerprint(cfg selectors.Config, threshold float64) string {
+	blob, _ := json.Marshal(struct {
+		Config    selectors.Config
+		Threshold float64
+	}{cfg, threshold})
+	return store.HashBytes(blob)
 }
 
 func buildAdvisor(fw *core.Framework, docPath, corpusReg string, seed int64) (*core.Advisor, string, error) {
@@ -238,26 +332,90 @@ func splitList(s string) []string {
 
 // serveConfig carries the serve subcommand's knobs.
 type serveConfig struct {
-	addr        string
-	primaryName string
-	extra       []string // additional built-in guides to host
-	seed        int64
-	cacheSize   int
-	maxInflight int
-	maxBatch    int
-	timeout     time.Duration
-	traceSample float64       // fraction of requests with recorded span trees
-	metrics     *obs.Registry // nil: the process-wide default registry
+	addr            string
+	primaryName     string
+	docPath         string   // primary advisor from a document...
+	corpusReg       string   // ...or from a built-in guide
+	extra           []string // additional built-in guides to host
+	seed            int64
+	cfgHash         string // configFingerprint of keyword config + threshold
+	snapshotDir     string // "" disables the snapshot store
+	watch           bool
+	rebuildInterval time.Duration
+	cacheSize       int
+	maxInflight     int
+	maxBatch        int
+	timeout         time.Duration
+	traceSample     float64       // fraction of requests with recorded span trees
+	metrics         *obs.Registry // nil: the process-wide default registry
+
+	// sources overrides the flag-derived lifecycle sources — the hook tests
+	// use to serve small fixture advisors.
+	sources []lifecycle.Source
 }
 
-// buildServeHandler assembles the full serving stack — registry, JSON API
-// service, HTML UI sharing the service's cache, tracing middleware, and the
-// debug endpoints (/metricz, /tracez, /debug/pprof) — without binding a
-// listener, so tests can mount it on httptest.Server. It returns the root
-// handler and the service (for BeginDrain and stats).
-func buildServeHandler(fw *core.Framework, advisor *core.Advisor, title string, cfg serveConfig, logger *slog.Logger) (http.Handler, *service.Service, error) {
-	// build any extra guides concurrently, then add the primary advisor
-	builders := map[string]func() (*core.Advisor, error){}
+// corpusSource describes one built-in guide as a lifecycle source. Its
+// fingerprint is a function of everything the build depends on (register,
+// seed, keyword config, threshold), so a snapshot is stale exactly when one
+// of those changed.
+func corpusSource(fw *core.Framework, name string, reg corpus.Register, seed int64, cfgHash string) lifecycle.Source {
+	fp := store.HashBytes([]byte(fmt.Sprintf("corpus:%s:seed=%d:cfg=%s", name, seed, cfgHash)))
+	return lifecycle.Source{
+		Name:        name,
+		Fingerprint: func() (string, error) { return fp, nil },
+		Build: func(ctx context.Context) (*core.Advisor, error) {
+			g := corpus.Generate(reg, seed)
+			return fw.BuildFromSentences(g.Doc, g.Sentences), nil
+		},
+	}
+}
+
+// docSource describes an on-disk document as a lifecycle source: the
+// fingerprint re-hashes the file contents on every poll, which is what makes
+// -watch notice edits.
+func docSource(fw *core.Framework, name, path, cfgHash string) lifecycle.Source {
+	return lifecycle.Source{
+		Name: name,
+		Path: path,
+		Fingerprint: func() (string, error) {
+			h, err := store.HashFile(path)
+			if err != nil {
+				return "", err
+			}
+			return store.HashBytes([]byte("doc:" + h + ":cfg=" + cfgHash)), nil
+		},
+		Build: func(ctx context.Context) (*core.Advisor, error) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			var doc *htmldoc.Document
+			switch {
+			case strings.HasSuffix(path, ".md") || strings.HasSuffix(path, ".markdown"):
+				doc = htmldoc.ParseMarkdown(string(data))
+			case strings.HasSuffix(path, ".txt"):
+				doc = htmldoc.ParsePlainText(string(data))
+			default:
+				doc = htmldoc.Parse(string(data))
+			}
+			return fw.BuildFromDocument(doc), nil
+		},
+	}
+}
+
+// serveSources derives the lifecycle sources from the serve flags: the
+// primary advisor (document or built-in guide) plus every -corpora extra.
+func serveSources(fw *core.Framework, cfg serveConfig) ([]lifecycle.Source, error) {
+	var sources []lifecycle.Source
+	if cfg.docPath != "" {
+		sources = append(sources, docSource(fw, cfg.primaryName, cfg.docPath, cfg.cfgHash))
+	} else {
+		reg, err := corpusRegister(cfg.corpusReg)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, corpusSource(fw, cfg.primaryName, reg, cfg.seed, cfg.cfgHash))
+	}
 	for _, name := range cfg.extra {
 		name := strings.ToLower(name)
 		if name == "xeonphi" {
@@ -266,20 +424,64 @@ func buildServeHandler(fw *core.Framework, advisor *core.Advisor, title string, 
 		if name == cfg.primaryName {
 			continue
 		}
-		builders[name] = func() (*core.Advisor, error) {
-			reg, err := corpusRegister(name)
-			if err != nil {
-				return nil, err
-			}
-			g := corpus.Generate(reg, cfg.seed)
-			return fw.BuildFromSentences(g.Doc, g.Sentences), nil
+		reg, err := corpusRegister(name)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, corpusSource(fw, name, reg, cfg.seed, cfg.cfgHash))
+	}
+	return sources, nil
+}
+
+// buildServeHandler assembles the full serving stack — snapshot store,
+// lifecycle manager (warm start + hot reload), registry, JSON API service,
+// HTML UI sharing the service's cache, tracing middleware, and the debug
+// endpoints (/metricz, /tracez, /debug/pprof) — without binding a listener,
+// so tests can mount it on httptest.Server. It returns the root handler, the
+// service (for BeginDrain and stats), and the lifecycle manager (run its
+// watcher with mgr.Run when cfg.watch is set).
+func buildServeHandler(fw *core.Framework, cfg serveConfig, logger *slog.Logger) (http.Handler, *service.Service, *lifecycle.Manager, error) {
+	sources := cfg.sources
+	if sources == nil {
+		var err error
+		if sources, err = serveSources(fw, cfg); err != nil {
+			return nil, nil, nil, err
 		}
 	}
-	registry, err := service.BuildAll(builders)
-	if err != nil {
-		return nil, nil, err
+	var snapStore *store.Store
+	if cfg.snapshotDir != "" {
+		var err error
+		if snapStore, err = store.Open(cfg.snapshotDir); err != nil {
+			return nil, nil, nil, err
+		}
 	}
-	registry.Add(cfg.primaryName, advisor)
+
+	registry := service.NewRegistry()
+	mgr := lifecycle.New(lifecycle.Options{
+		Store:    snapStore,
+		Register: registry.Add,
+		Interval: cfg.rebuildInterval,
+		Logger:   logger,
+		Metrics:  cfg.metrics,
+	})
+	for _, src := range sources {
+		if err := mgr.AddSource(src); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	// warm start: snapshots with matching source fingerprints load directly;
+	// everything missing, stale, or corrupt is cold-built and re-snapshotted
+	if err := mgr.WarmStart(context.Background()); err != nil {
+		return nil, nil, nil, err
+	}
+	advisor, ok := registry.Get(cfg.primaryName)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("primary advisor %q missing after warm start", cfg.primaryName)
+	}
+	title := advisor.Title()
+	if title == "" {
+		title = cfg.primaryName
+	}
 
 	tracer := obs.NewTracer(cfg.traceSample, obs.NewTraceStore(obs.DefaultTraceCapacity))
 	svc := service.New(registry, service.Options{
@@ -291,11 +493,35 @@ func buildServeHandler(fw *core.Framework, advisor *core.Advisor, title string, 
 		Tracer:      tracer,
 		Metrics:     cfg.metrics,
 	})
+	// rebuilds now swap through the service (Replace + cache invalidation),
+	// and the admin/stats surface gains the lifecycle view
+	mgr.SetSwap(svc.Reload)
+	svc.SetLifecycle(mgr)
 
 	// the HTML UI shares the service's cache and admission control; the
 	// request context carries the UI request's span so shared-path queries
 	// appear in its trace tree
 	ui := webui.New(advisor, title)
+	// pages always render the registry's current advisor, so a hot swap
+	// reaches the HTML UI without restarting it
+	ui.SetAdvisorProvider(func() *core.Advisor {
+		a, _ := registry.Get(cfg.primaryName)
+		return a
+	})
+	ui.SetReloadInfo(func() *webui.ReloadInfo {
+		for _, a := range mgr.State().Advisors {
+			if a.Advisor == cfg.primaryName {
+				return &webui.ReloadInfo{
+					Origin:   a.Origin,
+					BuiltAt:  a.BuiltAt,
+					LastSwap: a.LastSwap,
+					Reloads:  a.Reloads,
+					LastDiff: a.LastDiff,
+				}
+			}
+		}
+		return nil
+	})
 	ui.SetQuerier(func(ctx context.Context, backend, q string) []core.Answer {
 		answers, _, err := svc.CachedQueryBackend(ctx, cfg.primaryName, backend, q)
 		if err != nil {
@@ -339,18 +565,26 @@ func buildServeHandler(fw *core.Framework, advisor *core.Advisor, title string, 
 	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	root.Handle("/", obs.Middleware(tracer, ui))
-	return root, svc, nil
+	return root, svc, mgr, nil
 }
 
-// cmdServe runs the production serving layer: a registry hosting the primary
-// advisor plus any -corpora extras (built concurrently), the /v1 JSON API
-// with query cache and admission control, and the HTML webui on the same
-// mux sharing both. SIGINT/SIGTERM triggers a graceful drain.
-func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serveConfig) error {
+// cmdServe runs the production serving layer: a registry warm-started from
+// the snapshot store (cold-building only what is missing or stale), the /v1
+// JSON API with query cache and admission control, the HTML webui on the
+// same mux sharing both, and — with -watch — a background rebuild loop that
+// hot-swaps advisors when their sources change. SIGINT/SIGTERM triggers a
+// graceful drain.
+func cmdServe(fw *core.Framework, cfg serveConfig) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	root, svc, err := buildServeHandler(fw, advisor, title, cfg, logger)
+	root, svc, mgr, err := buildServeHandler(fw, cfg, logger)
 	if err != nil {
 		return err
+	}
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if cfg.watch {
+		go mgr.Run(watchCtx)
+		logger.Info("watching sources", "interval", cfg.rebuildInterval.String())
 	}
 
 	srv := &http.Server{Addr: cfg.addr, Handler: root}
@@ -360,13 +594,14 @@ func cmdServe(fw *core.Framework, advisor *core.Advisor, title string, cfg serve
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		<-sigc
 		logger.Info("signal received, draining")
+		stopWatch() // no rebuilds during shutdown
 		svc.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		done <- srv.Shutdown(ctx) // drains in-flight requests
 	}()
-	log.Printf("serving %s on %s (advisors: %s; JSON API under /v1/; debug: /metricz /tracez /debug/pprof)",
-		title, cfg.addr, strings.Join(svc.Registry().Names(), ", "))
+	log.Printf("serving on %s (advisors: %s; JSON API under /v1/; debug: /metricz /tracez /debug/pprof)",
+		cfg.addr, strings.Join(svc.Registry().Names(), ", "))
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

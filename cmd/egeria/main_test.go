@@ -136,3 +136,71 @@ func TestCorpusRegisterHelper(t *testing.T) {
 		t.Error("unknown register accepted")
 	}
 }
+
+// TestSaveLoadCLIRoundTrip covers the save -> load CLI path: an advisor
+// saved the way `egeria save` writes it must come back through
+// loadAdvisorFile (the `egeria load` entry) answering queries identically,
+// and cmdLoad must reject unusable inputs with errors instead of exits.
+func TestSaveLoadCLIRoundTrip(t *testing.T) {
+	fw := core.New()
+	orig, _, err := buildAdvisor(fw, "", "cuda", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cuda.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := loadAdvisorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != "cuda" {
+		t.Errorf("loaded advisor named %q, want cuda (from filename)", loaded.Name())
+	}
+	if len(loaded.Rules()) != len(orig.Rules()) {
+		t.Fatalf("rules: %d loaded vs %d original", len(loaded.Rules()), len(orig.Rules()))
+	}
+	q := "reduce global memory latency"
+	oa, la := orig.Query(q), loaded.Query(q)
+	if len(oa) != len(la) {
+		t.Fatalf("answers: %d loaded vs %d original", len(la), len(oa))
+	}
+	for i := range oa {
+		if oa[i].Score != la[i].Score || oa[i].Sentence.Index != la[i].Sentence.Index {
+			t.Errorf("answer %d differs after round trip", i)
+		}
+	}
+
+	// the cmdLoad dispatcher: valid subcommands work, junk is an error
+	if err := cmdLoad(path, "rules", nil); err != nil {
+		t.Errorf("load rules: %v", err)
+	}
+	if err := cmdLoad(path, "query", []string{"memory", "latency"}); err != nil {
+		t.Errorf("load query: %v", err)
+	}
+	if err := cmdLoad(path, "query", nil); err == nil {
+		t.Error("load query without text did not error")
+	}
+	if err := cmdLoad(path, "dance", nil); err == nil {
+		t.Error("unknown load subcommand accepted")
+	}
+	if err := cmdLoad(filepath.Join(t.TempDir(), "missing.snap"), "rules", nil); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(garbage, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLoad(garbage, "rules", nil); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -14,8 +17,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 )
+
+// testSource wraps a small synthetic guide as a lifecycle source, so serve
+// tests boot quickly instead of building full-size advisors.
+func testSource(t testing.TB, name string, size int, seed int64) lifecycle.Source {
+	t.Helper()
+	reg, err := corpusRegister(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lifecycle.Source{
+		Name:        name,
+		Fingerprint: func() (string, error) { return fmt.Sprintf("test:%s:%d:%d", name, size, seed), nil },
+		Build: func(ctx context.Context) (*core.Advisor, error) {
+			g := corpus.GenerateSized(reg, size, 0.3, seed)
+			return core.New().BuildFromSentences(g.Doc, g.Sentences), nil
+		},
+	}
+}
 
 // TestServeEndToEnd exercises the full serve stack exactly as `egeria serve`
 // assembles it — buildServeHandler on an ephemeral port — under concurrent
@@ -23,14 +45,12 @@ import (
 // ID, the webui and JSON API share one cache, pprof and /tracez respond, and
 // the /metricz request counter equals the number of requests served.
 func TestServeEndToEnd(t *testing.T) {
-	g := corpus.GenerateSized(corpus.CUDA, 120, 0.3, 3)
-	advisor := core.New().BuildFromSentences(g.Doc, g.Sentences)
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 
 	// a dedicated registry so the reconciliation below counts only this
 	// test's requests
 	metrics := obs.NewRegistry()
-	handler, svc, err := buildServeHandler(core.New(), advisor, g.Doc.Title, serveConfig{
+	handler, svc, _, err := buildServeHandler(core.New(), serveConfig{
 		primaryName: "cuda",
 		seed:        3,
 		cacheSize:   64,
@@ -38,6 +58,7 @@ func TestServeEndToEnd(t *testing.T) {
 		timeout:     10 * time.Second,
 		traceSample: 1,
 		metrics:     metrics,
+		sources:     []lifecycle.Source{testSource(t, "cuda", 120, 3)},
 	}, logger)
 	if err != nil {
 		t.Fatal(err)
@@ -208,18 +229,19 @@ func httpGet(t *testing.T, url string) (int, []byte) {
 // selection on /v1/query, the /v1/batch worker pool with per-item trace
 // IDs, the cross-advisor /v1/ask merge, and the webui's /ask page.
 func TestServeBatchAskBackend(t *testing.T) {
-	g := corpus.GenerateSized(corpus.CUDA, 120, 0.3, 7)
-	advisor := core.New().BuildFromSentences(g.Doc, g.Sentences)
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	handler, svc, err := buildServeHandler(core.New(), advisor, g.Doc.Title, serveConfig{
+	handler, svc, _, err := buildServeHandler(core.New(), serveConfig{
 		primaryName: "cuda",
-		extra:       []string{"opencl"},
 		seed:        7,
 		cacheSize:   64,
 		maxInflight: 16,
 		maxBatch:    8,
 		timeout:     10 * time.Second,
 		metrics:     obs.NewRegistry(),
+		sources: []lifecycle.Source{
+			testSource(t, "cuda", 120, 7),
+			testSource(t, "opencl", 120, 7),
+		},
 	}, logger)
 	if err != nil {
 		t.Fatal(err)
@@ -365,15 +387,14 @@ func TestServeBatchAskBackend(t *testing.T) {
 // TestServeConfigTraceSampleOff: with sampling off (the default), requests
 // still get trace IDs but /tracez records nothing.
 func TestServeConfigTraceSampleOff(t *testing.T) {
-	g := corpus.GenerateSized(corpus.CUDA, 60, 0.3, 5)
-	advisor := core.New().BuildFromSentences(g.Doc, g.Sentences)
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	handler, _, err := buildServeHandler(core.New(), advisor, "t", serveConfig{
+	handler, _, _, err := buildServeHandler(core.New(), serveConfig{
 		primaryName: "cuda",
 		cacheSize:   16,
 		maxInflight: 4,
 		timeout:     5 * time.Second,
 		metrics:     obs.NewRegistry(),
+		sources:     []lifecycle.Source{testSource(t, "cuda", 60, 5)},
 	}, logger)
 	if err != nil {
 		t.Fatal(err)
@@ -397,5 +418,229 @@ func TestServeConfigTraceSampleOff(t *testing.T) {
 	}
 	if code, _ := httpGet(t, ts.URL+fmt.Sprintf("/tracez?n=%d", 5)); code != 200 {
 		t.Errorf("tracez listing: %d", code)
+	}
+}
+
+// TestServeReloadRaceHammer hammers the full stack with concurrent queries
+// while advisors are hot-swapped underneath them from two directions at
+// once: direct service Reloads (the lifecycle watcher's path) and
+// POST /v1/admin/reload (the operator's path). Run under -race in CI. Every
+// query must succeed with a unique trace ID, and the lifecycle counters on
+// /statsz must show the reloads.
+func TestServeReloadRaceHammer(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	var buildSeq int64 // varied per rebuild so swaps carry a real rule diff
+	var seqMu sync.Mutex
+	src := lifecycle.Source{
+		Name:        "cuda",
+		Fingerprint: func() (string, error) { return "hammer", nil },
+		Build: func(ctx context.Context) (*core.Advisor, error) {
+			seqMu.Lock()
+			buildSeq++
+			seed := buildSeq
+			seqMu.Unlock()
+			g := corpus.GenerateSized(corpus.CUDA, 80, 0.3, seed)
+			return core.New().BuildFromSentences(g.Doc, g.Sentences), nil
+		},
+	}
+	metrics := obs.NewRegistry()
+	handler, svc, _, err := buildServeHandler(core.New(), serveConfig{
+		primaryName: "cuda",
+		cacheSize:   64,
+		maxInflight: 32,
+		timeout:     10 * time.Second,
+		traceSample: 1,
+		metrics:     metrics,
+		sources:     []lifecycle.Source{src},
+	}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	const queryWorkers = 6
+	const perWorker = 12
+	var (
+		mu       sync.Mutex
+		traceIDs = map[string]int{}
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// direction 1: background Replace, as the watcher would do it
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(100); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := corpus.GenerateSized(corpus.CUDA, 80, 0.3, i)
+			svc.Reload("cuda", core.New().BuildFromSentences(g.Doc, g.Sentences))
+		}
+	}()
+	// direction 2: operator reloads through the admin endpoint; 200 and 409
+	// (single-flight collision with another reload) are both fine
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(ts.URL+"/v1/admin/reload?advisor=cuda", "", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 && resp.StatusCode != 409 {
+				t.Errorf("admin reload: %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	var qwg sync.WaitGroup
+	for w := 0; w < queryWorkers; w++ {
+		qwg.Add(1)
+		go func(w int) {
+			defer qwg.Done()
+			queries := []string{"reduce memory latency", "improve occupancy", "avoid divergent warps"}
+			for i := 0; i < perWorker; i++ {
+				q := strings.ReplaceAll(queries[(w+i)%len(queries)], " ", "+")
+				resp, err := http.Get(ts.URL + "/v1/cuda/query?q=" + q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				id := resp.Header.Get("X-Trace-Id")
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("query during reload storm: %d", resp.StatusCode)
+					return
+				}
+				mu.Lock()
+				traceIDs[id]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	qwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if len(traceIDs) != queryWorkers*perWorker {
+		t.Errorf("%d distinct trace IDs over %d queries", len(traceIDs), queryWorkers*perWorker)
+	}
+
+	// the admin reloads must be visible on /statsz and /metricz, and agree
+	var stats struct {
+		Lifecycle *lifecycle.State `json:"lifecycle"`
+	}
+	code, sbody := httpGet(t, ts.URL+"/statsz")
+	if code != 200 {
+		t.Fatalf("statsz: %d", code)
+	}
+	if err := json.Unmarshal(sbody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Lifecycle == nil || stats.Lifecycle.Reloads < 1 {
+		t.Fatalf("statsz lifecycle missing or reload-free: %s", sbody)
+	}
+	code, mbody := httpGet(t, ts.URL+"/metricz")
+	if code != 200 {
+		t.Fatalf("metricz: %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mbody, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["lifecycle_reloads_total"]; got != stats.Lifecycle.Reloads {
+		t.Errorf("metricz reloads %d != statsz reloads %d", got, stats.Lifecycle.Reloads)
+	}
+}
+
+// TestServeCrashSafetyFallback: a garbage snapshot in -snapshot-dir (as a
+// crash mid-write would leave only if the atomic rename protocol were
+// violated) must not stop the server from starting — the bad file is
+// quarantined, the advisor is cold-built and re-snapshotted, and the event
+// is visible on /metricz.
+func TestServeCrashSafetyFallback(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "cuda.snap"), []byte("\x00garbage, not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cuda.json"), []byte(`{"format_version":1,"advisor":"cuda","source_hash":"test:cuda:90:11","checksum":"deadbeef","bytes":26}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	metrics := obs.NewRegistry()
+	handler, _, _, err := buildServeHandler(core.New(), serveConfig{
+		primaryName: "cuda",
+		snapshotDir: dir,
+		cacheSize:   16,
+		maxInflight: 4,
+		timeout:     5 * time.Second,
+		metrics:     metrics,
+		sources:     []lifecycle.Source{testSource(t, "cuda", 90, 11)},
+	}, logger)
+	if err != nil {
+		t.Fatalf("server failed to start over a corrupt snapshot: %v", err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	if code, _ := httpGet(t, ts.URL+"/readyz"); code != 200 {
+		t.Errorf("readyz after fallback: %d", code)
+	}
+	if code, body := httpGet(t, ts.URL+"/v1/cuda/query?q=memory+latency"); code != 200 {
+		t.Errorf("query after fallback: %d %s", code, body)
+	}
+	// the bad snapshot is preserved as evidence, not silently overwritten
+	if _, err := os.Stat(filepath.Join(dir, "cuda.snap.bad")); err != nil {
+		t.Errorf("corrupt snapshot not quarantined: %v", err)
+	}
+	// the rebuild re-snapshotted: the next boot warm-starts cleanly
+	if _, err := os.Stat(filepath.Join(dir, "cuda.snap")); err != nil {
+		t.Errorf("no fresh snapshot after fallback rebuild: %v", err)
+	}
+	// and the corruption event is visible on /metricz
+	code, mbody := httpGet(t, ts.URL+"/metricz")
+	if code != 200 {
+		t.Fatalf("metricz: %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mbody, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["lifecycle_snapshot_corrupt_total"]; got != 1 {
+		t.Errorf("lifecycle_snapshot_corrupt_total = %d, want 1", got)
+	}
+
+	// second boot over the repaired store: pure warm start, zero cold builds
+	metrics2 := obs.NewRegistry()
+	_, svc2, _, err := buildServeHandler(core.New(), serveConfig{
+		primaryName: "cuda",
+		snapshotDir: dir,
+		cacheSize:   16,
+		maxInflight: 4,
+		timeout:     5 * time.Second,
+		metrics:     metrics2,
+		sources:     []lifecycle.Source{testSource(t, "cuda", 90, 11)},
+	}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := svc2.Stats().Lifecycle
+	if lc == nil || lc.SnapshotHits != 1 || lc.SnapshotMisses != 0 {
+		t.Errorf("second boot not a pure warm start: %+v", lc)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/htmldoc"
 	"repro/internal/selectors"
+	"repro/internal/textproc"
 	"repro/internal/vsm"
 )
 
@@ -15,8 +16,9 @@ import (
 const snapshotVersion = 1
 
 // advisorSnapshot is the serialized form of an Advisor. The TF-IDF index is
-// rebuilt on load (it is cheap and deterministic); what persistence buys is
-// skipping Stage I, the expensive NLP pass over the document.
+// rebuilt on load from the stored per-sentence term lists (deterministic and
+// far cheaper than re-normalizing text); what persistence buys is skipping
+// Stage I, the expensive NLP pass over the document.
 type advisorSnapshot struct {
 	Version   int
 	Threshold float64
@@ -24,16 +26,26 @@ type advisorSnapshot struct {
 	Sections  []htmldoc.Section
 	Sentences []htmldoc.Sentence
 	Advising  []AdvisingSentence
+	// Terms holds the normalized retrieval terms per sentence. Older
+	// snapshots lack it; load falls back to re-normalizing the text, which
+	// produces the identical index (vsm.Build is NormalizeTerms +
+	// BuildFromTerms).
+	Terms [][]string
 }
 
 // Save serializes the advisor so it can be reloaded without re-running
 // Stage I. The format is a versioned gob stream.
 func (a *Advisor) Save(w io.Writer) error {
+	terms := make([][]string, len(a.sentences))
+	for i, s := range a.sentences {
+		terms[i] = textproc.NormalizeTerms(s.Text)
+	}
 	snap := advisorSnapshot{
 		Version:   snapshotVersion,
 		Threshold: a.threshold,
 		Sentences: a.sentences,
 		Advising:  a.advising,
+		Terms:     terms,
 	}
 	if a.doc != nil {
 		snap.Title = a.doc.Title
@@ -81,6 +93,14 @@ func LoadAdvisor(r io.Reader) (*Advisor, error) {
 			return nil, fmt.Errorf("core: snapshot advising index %d out of range", adv.Index)
 		}
 		a.isAdv[adv.Index] = true
+	}
+	if len(snap.Terms) > 0 {
+		if len(snap.Terms) != len(snap.Sentences) {
+			return nil, fmt.Errorf("core: snapshot has %d term lists for %d sentences",
+				len(snap.Terms), len(snap.Sentences))
+		}
+		a.index = vsm.BuildFromTerms(snap.Terms)
+		return a, nil
 	}
 	texts := make([]string, len(snap.Sentences))
 	for i, s := range snap.Sentences {

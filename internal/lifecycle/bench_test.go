@@ -1,0 +1,80 @@
+package lifecycle_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/lifecycle"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// fullGuideSources mirrors the production 3-guide registry: one full-size
+// synthetic guide per register, fingerprinted by register+seed.
+func fullGuideSources() []lifecycle.Source {
+	srcs := make([]lifecycle.Source, 0, 3)
+	for _, reg := range []corpus.Register{corpus.CUDA, corpus.OpenCL, corpus.XeonPhi} {
+		reg := reg
+		srcs = append(srcs, lifecycle.Source{
+			Name:        reg.String(),
+			Fingerprint: func() (string, error) { return fmt.Sprintf("bench:%d:42", reg), nil },
+			Build: func(ctx context.Context) (*core.Advisor, error) {
+				g := corpus.Generate(reg, 42)
+				return core.New().BuildFromSentences(g.Doc, g.Sentences), nil
+			},
+		})
+	}
+	return srcs
+}
+
+func benchManager(b *testing.B, st *store.Store) *lifecycle.Manager {
+	b.Helper()
+	m := lifecycle.New(lifecycle.Options{
+		Store:    st,
+		Register: func(string, *core.Advisor) {},
+		Metrics:  obs.NewRegistry(),
+	})
+	for _, s := range fullGuideSources() {
+		if err := m.AddSource(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkColdBuild is the baseline: every boot re-runs the Stage-I NLP
+// pass for all three guides (no snapshot store).
+func BenchmarkColdBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := benchManager(b, nil)
+		if err := m.WarmStart(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmStart boots the same 3-guide registry from a pre-populated
+// snapshot store. The acceptance bar is >= 3x faster than BenchmarkColdBuild.
+func BenchmarkWarmStart(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// populate the store once, off the clock
+	if err := benchManager(b, st).WarmStart(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := benchManager(b, st)
+		if err := m.WarmStart(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if got := m.State().SnapshotHits; got != 3 {
+			b.Fatalf("warm start had %d snapshot hits, want 3", got)
+		}
+	}
+}

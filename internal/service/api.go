@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 )
 
 // The /v1 wire types. Marshaling with encoding/json is deterministic (struct
@@ -77,6 +78,16 @@ type ReportResponse struct {
 	Program string         `json:"program,omitempty"`
 	Issues  []IssueAnswers `json:"issues"`
 	TraceID string         `json:"trace_id,omitempty"`
+}
+
+// ReloadResponse is the body of POST /v1/admin/reload: which advisor was
+// reloaded ("" = all), how long the rebuild+swap took, and the lifecycle
+// state after the swap.
+type ReloadResponse struct {
+	Advisor       string          `json:"advisor,omitempty"`
+	DurationMicro int64           `json:"duration_micros"`
+	State         lifecycle.State `json:"state"`
+	TraceID       string          `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is every non-2xx body.

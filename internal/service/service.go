@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
 	"repro/internal/obs"
@@ -93,6 +94,9 @@ type Service struct {
 	mux      *http.ServeMux
 	draining sync.RWMutex // held exclusively only to flip drain
 	drained  bool
+
+	lcMu sync.RWMutex
+	lc   *lifecycle.Manager // optional corpus lifecycle, see SetLifecycle
 }
 
 // New assembles a Service over reg. The registry's hot-swap log is routed to
@@ -124,7 +128,24 @@ func New(reg *Registry, opts Options) *Service {
 	s.mux.HandleFunc("GET /v1/{advisor}/rules", s.handleRules)
 	s.mux.HandleFunc("GET /v1/{advisor}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/{advisor}/report", s.handleReport)
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handleAdminReload)
 	return s
+}
+
+// SetLifecycle attaches the corpus lifecycle manager: POST /v1/admin/reload
+// triggers its rebuilds and /statsz gains a lifecycle section. Safe to call
+// after the service is serving (the manager is usually wired once the
+// registry is warm).
+func (s *Service) SetLifecycle(lm *lifecycle.Manager) {
+	s.lcMu.Lock()
+	s.lc = lm
+	s.lcMu.Unlock()
+}
+
+func (s *Service) lifecycleManager() *lifecycle.Manager {
+	s.lcMu.RLock()
+	defer s.lcMu.RUnlock()
+	return s.lc
 }
 
 // Registry returns the advisor registry the service serves from.
@@ -135,6 +156,10 @@ func (s *Service) Stats() StatsSnapshot {
 	snap := s.stats.snapshot()
 	snap.CacheSize = s.cache.Len()
 	snap.Advisors = s.reg.Len()
+	if lm := s.lifecycleManager(); lm != nil {
+		st := lm.State()
+		snap.Lifecycle = &st
+	}
 	return snap
 }
 
@@ -432,6 +457,42 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.recordReport(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdminReload synchronously rebuilds and hot-swaps advisors through
+// the lifecycle manager — ?advisor=NAME for one, none for all. Single-flight
+// collisions are 409 (a rebuild is already running, the request is
+// redundant), unknown advisors 404, build failures 500.
+func (s *Service) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	lm := s.lifecycleManager()
+	if lm == nil {
+		writeError(w, http.StatusNotImplemented, "corpus lifecycle not enabled on this server")
+		return
+	}
+	advisor := strings.TrimSpace(r.URL.Query().Get("advisor"))
+	start := time.Now()
+	err := lm.ReloadNow(r.Context(), advisor)
+	switch {
+	case err == nil:
+	case errors.Is(err, lifecycle.ErrInProgress):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, lifecycle.ErrUnknownSource):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "reload cancelled: %v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Advisor:       advisor,
+		DurationMicro: time.Since(start).Microseconds(),
+		State:         lm.State(),
+		TraceID:       obs.TraceID(r.Context()),
+	})
 }
 
 // parseReport accepts both profiler formats: NVVP-style text and the JSON

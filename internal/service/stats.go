@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 )
 
@@ -157,6 +158,11 @@ type StatsSnapshot struct {
 	Batches     int64 `json:"batches"`
 	BatchItems  int64 `json:"batch_items"`
 	Asks        int64 `json:"asks"`
+
+	// Lifecycle is present when a corpus lifecycle manager is attached
+	// (serve -snapshot-dir / -watch): warm-start origin, reload counters,
+	// and last-error per advisor.
+	Lifecycle *lifecycle.State `json:"lifecycle,omitempty"`
 
 	QueryP50Micros  int64 `json:"query_p50_micros"`
 	QueryP99Micros  int64 `json:"query_p99_micros"`

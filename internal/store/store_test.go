@@ -1,0 +1,258 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+func smallAdvisor(t testing.TB, seed int64) *core.Advisor {
+	t.Helper()
+	g := corpus.GenerateSized(corpus.CUDA, 60, 0.3, seed)
+	return core.New().BuildFromSentences(g.Doc, g.Sentences)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := smallAdvisor(t, 3)
+	man, err := st.Save("cuda", orig, "/guides/cuda.html", "hash123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Advisor != "cuda" || man.SourceHash != "hash123" || man.SourcePath != "/guides/cuda.html" {
+		t.Errorf("manifest identity wrong: %+v", man)
+	}
+	if man.FormatVersion != store.FormatVersion || man.Checksum == "" || man.Bytes == 0 {
+		t.Errorf("manifest integrity fields wrong: %+v", man)
+	}
+	if man.Rules != len(orig.Rules()) || man.Sentences != orig.SentenceCount() {
+		t.Errorf("manifest counts %d/%d, want %d/%d", man.Rules, man.Sentences, len(orig.Rules()), orig.SentenceCount())
+	}
+
+	loaded, man2, err := st.Load("cuda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Checksum != man.Checksum {
+		t.Errorf("manifest drifted between Save and Load")
+	}
+	if loaded.Name() != "cuda" {
+		t.Errorf("loaded advisor name %q", loaded.Name())
+	}
+	or, lr := orig.Rules(), loaded.Rules()
+	if len(or) != len(lr) {
+		t.Fatalf("rules %d vs %d", len(or), len(lr))
+	}
+	for i := range or {
+		if or[i] != lr[i] {
+			t.Fatalf("rule %d differs", i)
+		}
+	}
+	oa, la := orig.Query("reduce global memory latency"), loaded.Query("reduce global memory latency")
+	if len(oa) != len(la) {
+		t.Fatalf("answers %d vs %d", len(oa), len(la))
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	st, _ := store.Open(t.TempDir())
+	if _, _, err := st.Load("nope"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("missing snapshot: %v, want ErrNotFound", err)
+	}
+	if _, err := st.Manifest("nope"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("missing manifest: %v, want ErrNotFound", err)
+	}
+}
+
+// TestLoadCorruption covers every way a snapshot can go bad: truncated
+// payload, flipped bytes, garbage manifest, orphaned payload, and a format
+// version from the future. Each must be ErrCorrupt (rebuild), never a panic
+// or a clean miss.
+func TestLoadCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := store.Open(dir)
+	if _, err := st.Save("cuda", smallAdvisor(t, 5), "", "h"); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "cuda.snap")
+	manPath := filepath.Join(dir, "cuda.json")
+	good, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodMan, _ := os.ReadFile(manPath)
+
+	restore := func() {
+		os.WriteFile(snapPath, good, 0o644)
+		os.WriteFile(manPath, goodMan, 0o644)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func()
+	}{
+		{"truncated payload", func() { os.WriteFile(snapPath, good[:len(good)/2], 0o644) }},
+		{"flipped byte", func() {
+			bad := bytes.Clone(good)
+			bad[len(bad)/2] ^= 0xff
+			os.WriteFile(snapPath, bad, 0o644)
+		}},
+		{"garbage manifest", func() { os.WriteFile(manPath, []byte("{not json"), 0o644) }},
+		{"payload without manifest", func() { os.Remove(manPath) }},
+		{"version skew", func() {
+			os.WriteFile(manPath, bytes.Replace(goodMan, []byte(`"format_version": 1`),
+				[]byte(`"format_version": 99`), 1), 0o644)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			restore()
+			c.corrupt()
+			if _, _, err := st.Load("cuda"); !errors.Is(err, store.ErrCorrupt) {
+				t.Errorf("Load after %s: %v, want ErrCorrupt", c.name, err)
+			}
+		})
+	}
+
+	// and a valid pair still loads after all that
+	restore()
+	if _, _, err := st.Load("cuda"); err != nil {
+		t.Fatalf("restored snapshot does not load: %v", err)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := store.Open(dir)
+	if _, err := st.Save("cuda", smallAdvisor(t, 7), "", "h"); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "cuda.snap"), []byte("garbage"), 0o644)
+	if _, _, err := st.Load("cuda"); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("garbage payload: %v, want ErrCorrupt", err)
+	}
+	if err := st.Quarantine("cuda"); err != nil {
+		t.Fatal(err)
+	}
+	// the bad bytes are preserved aside, and the name is now a clean miss
+	if _, err := os.Stat(filepath.Join(dir, "cuda.snap.bad")); err != nil {
+		t.Errorf("quarantined payload missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cuda.json.bad")); err != nil {
+		t.Errorf("quarantined manifest missing: %v", err)
+	}
+	if _, _, err := st.Load("cuda"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("after quarantine: %v, want ErrNotFound", err)
+	}
+	// quarantining a missing name is a no-op
+	if err := st.Quarantine("ghost"); err != nil {
+		t.Errorf("quarantine of missing snapshot: %v", err)
+	}
+}
+
+func TestListAndGC(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := store.Open(dir)
+	a := smallAdvisor(t, 9)
+	for _, name := range []string{"cuda", "opencl", "xeon"} {
+		if _, err := st.Save(name, a, "", "h-"+name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a quarantined pair must not show up in List
+	st.Save("stale", a, "", "h-stale")
+	st.Quarantine("stale")
+
+	mans, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mans) != 3 || mans[0].Advisor != "cuda" || mans[1].Advisor != "opencl" || mans[2].Advisor != "xeon" {
+		t.Fatalf("List = %+v", mans)
+	}
+
+	removed, err := st.GC(func(name string) bool { return name == "cuda" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[0] != "opencl" || removed[1] != "xeon" {
+		t.Fatalf("GC removed %v", removed)
+	}
+	if _, _, err := st.Load("cuda"); err != nil {
+		t.Errorf("kept snapshot gone: %v", err)
+	}
+	if _, _, err := st.Load("opencl"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("collected snapshot still loads: %v", err)
+	}
+	// quarantined files survive GC
+	if _, err := os.Stat(filepath.Join(dir, "stale.snap.bad")); err != nil {
+		t.Errorf("GC removed quarantined evidence: %v", err)
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	st, _ := store.Open(t.TempDir())
+	a := smallAdvisor(t, 11)
+	for _, name := range []string{"", "../escape", "a/b", ".hidden", "sp ace"} {
+		if _, err := st.Save(name, a, "", "h"); err == nil {
+			t.Errorf("Save accepted invalid name %q", name)
+		}
+		if _, _, err := st.Load(name); err == nil {
+			t.Errorf("Load accepted invalid name %q", name)
+		}
+	}
+}
+
+func TestSaveOverwriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := store.Open(dir)
+	if _, err := st.Save("cuda", smallAdvisor(t, 13), "", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	man1, _ := st.Manifest("cuda")
+	if _, err := st.Save("cuda", smallAdvisor(t, 14), "", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	man2, _ := st.Manifest("cuda")
+	if man2.SourceHash != "v2" || man1.SourceHash != "v1" {
+		t.Errorf("overwrite did not replace the manifest: %+v -> %+v", man1, man2)
+	}
+	if _, _, err := st.Load("cuda"); err != nil {
+		t.Fatalf("overwritten snapshot does not load: %v", err)
+	}
+	// no temp litter left behind
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if n := e.Name(); n != "cuda.snap" && n != "cuda.json" {
+			t.Errorf("unexpected file in store: %s", n)
+		}
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	if store.HashBytes([]byte("a")) == store.HashBytes([]byte("b")) {
+		t.Error("hash collision on trivial inputs")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	os.WriteFile(path, []byte("content"), 0o644)
+	h, err := store.HashFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != store.HashBytes([]byte("content")) {
+		t.Error("HashFile disagrees with HashBytes")
+	}
+	if _, err := store.HashFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("HashFile on a missing file succeeded")
+	}
+}

@@ -39,13 +39,25 @@ type FederatedHit struct {
 	Norm    float64 // score / that advisor's best score
 }
 
+// ReloadInfo is the corpus-lifecycle summary shown in the front page footer:
+// where the serving advisor came from and when it last changed under traffic.
+type ReloadInfo struct {
+	Origin   string    // "snapshot" (warm start) or "build"
+	BuiltAt  time.Time // when the serving advisor was built
+	LastSwap time.Time // zero until the first hot reload
+	Reloads  int64     // hot reloads since boot
+	LastDiff string    // rule diff of the last swap, e.g. "2 added, 1 removed"
+}
+
 // Server wraps an Advisor with HTTP handlers.
 type Server struct {
-	advisor   *core.Advisor
-	title     string
-	mux       *http.ServeMux
-	querier   func(ctx context.Context, backend, q string) []core.Answer         // optional shared retrieval path
-	federator func(ctx context.Context, backend, q string, k int) []FederatedHit // optional cross-advisor ask
+	advisor    *core.Advisor
+	title      string
+	mux        *http.ServeMux
+	querier    func(ctx context.Context, backend, q string) []core.Answer         // optional shared retrieval path
+	federator  func(ctx context.Context, backend, q string, k int) []FederatedHit // optional cross-advisor ask
+	provider   func() *core.Advisor                                               // optional live-advisor source
+	reloadInfo func() *ReloadInfo                                                 // optional lifecycle summary
 }
 
 // New creates a Server for an advisor. title labels the pages
@@ -78,6 +90,33 @@ func (s *Server) SetFederator(f func(ctx context.Context, backend, q string, k i
 	s.federator = f
 }
 
+// SetAdvisorProvider makes every page render against f() instead of the
+// advisor captured at construction — the hook that lets a hot-swapped
+// registry advisor reach the HTML UI without rebuilding the Server. f must
+// be safe for concurrent use (registry lookups are). Call before serving
+// traffic.
+func (s *Server) SetAdvisorProvider(f func() *core.Advisor) {
+	s.provider = f
+}
+
+// SetReloadInfo installs the lifecycle summary shown in the front-page
+// footer (warm-start origin, last hot reload). nil results hide the footer.
+// Call before serving traffic.
+func (s *Server) SetReloadInfo(f func() *ReloadInfo) {
+	s.reloadInfo = f
+}
+
+// adv returns the advisor to render: the live one when a provider is
+// installed, else the one captured at construction.
+func (s *Server) adv() *core.Advisor {
+	if s.provider != nil {
+		if a := s.provider(); a != nil {
+			return a
+		}
+	}
+	return s.advisor
+}
+
 // query answers q through the shared querier when one is installed; the
 // standalone fallback goes through the annotation path (normalize once,
 // score the terms) like the serving layer does. An unknown backend falls
@@ -88,9 +127,10 @@ func (s *Server) query(ctx context.Context, backend, q string) []core.Answer {
 	if s.querier != nil {
 		return s.querier(ctx, backend, q)
 	}
-	answers, err := s.advisor.QueryTermsBackendCtx(ctx, backend, nlp.QueryTerms(q))
+	adv := s.adv()
+	answers, err := adv.QueryTermsBackendCtx(ctx, backend, nlp.QueryTerms(q))
 	if err != nil {
-		return s.advisor.QueryTermsCtx(ctx, nlp.QueryTerms(q))
+		return adv.QueryTermsCtx(ctx, nlp.QueryTerms(q))
 	}
 	return answers
 }
@@ -129,6 +169,7 @@ textarea { width: 100%; height: 8em; }
   <input type="submit" value="Upload">
 </form>
 <p><a href="/doc">browse the full document</a></p>
+{{with .Reload}}<p class="lifecycle">corpus: {{.Origin}}{{if not .BuiltAt.IsZero}}, built {{.BuiltAt.Format "2006-01-02 15:04:05 MST"}}{{end}}{{if .Reloads}} &middot; {{.Reloads}} hot reload(s), last at {{.LastSwap.Format "15:04:05"}}{{with .LastDiff}} ({{.}}){{end}}{{end}}</p>{{end}}
 {{range .Groups}}
 <div class="section"><a href="/doc#{{.Anchor}}">{{.Section}}</a></div>
 {{range .Rules}}<div class="rule">{{.Text}} <span class="selector">[{{.Selector}}]</span></div>
@@ -168,7 +209,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	rules := s.advisor.Rules()
+	adv := s.adv()
+	rules := adv.Rules()
 	bySection := map[string][]core.AdvisingSentence{}
 	var order []string
 	for _, rule := range rules {
@@ -182,6 +224,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	for _, sec := range order {
 		groups = append(groups, ruleGroup{Section: sec, Anchor: anchorFor(sec), Rules: bySection[sec]})
 	}
+	var reload *ReloadInfo
+	if s.reloadInfo != nil {
+		reload = s.reloadInfo()
+	}
 	data := struct {
 		Title    string
 		Count    int
@@ -189,7 +235,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		Ratio    float64
 		Backends []string
 		Groups   []ruleGroup
-	}{s.title, len(rules), s.advisor.SentenceCount(), s.advisor.CompressionRatio(), s.advisor.Backends(), groups}
+		Reload   *ReloadInfo
+	}{s.title, len(rules), adv.SentenceCount(), adv.CompressionRatio(), adv.Backends(), groups, reload}
 	render(w, indexTmpl, data)
 }
 
@@ -216,7 +263,7 @@ func (s *Server) answersToBlock(heading string, answers []core.Answer) answerBlo
 			Text:    a.Sentence.Text,
 			Score:   a.Score,
 		}
-		for _, c := range s.advisor.ContextOf(a) {
+		for _, c := range s.adv().ContextOf(a) {
 			item.Context = append(item.Context, c.Text)
 		}
 		if len(item.Context) > 4 {
@@ -380,8 +427,9 @@ type docSection struct {
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	var sections []docSection
 	bySection := map[string]int{}
-	for i := 0; i < s.advisor.SentenceCount(); i++ {
-		sec := s.advisor.SectionOf(i)
+	adv := s.adv()
+	for i := 0; i < adv.SentenceCount(); i++ {
+		sec := adv.SectionOf(i)
 		idx, ok := bySection[sec]
 		if !ok {
 			idx = len(sections)
@@ -392,8 +440,8 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		sections[idx].Sentences = append(sections[idx].Sentences, docSentence{
-			Text:     s.advisor.SentenceText(i),
-			Advising: s.advisor.IsAdvising(i),
+			Text:     adv.SentenceText(i),
+			Advising: adv.IsAdvising(i),
 		})
 	}
 	data := struct {

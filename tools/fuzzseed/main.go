@@ -1,6 +1,6 @@
 // Command fuzzseed regenerates the checked-in seed corpora for the fuzz
-// targets (FuzzTokenize, FuzzParse, FuzzQuery) from the three built-in
-// synthetic guides. Run from the repository root:
+// targets (FuzzTokenize, FuzzParse, FuzzQuery, FuzzLoadAdvisor) from the
+// three built-in synthetic guides. Run from the repository root:
 //
 //	go run ./tools/fuzzseed
 //
@@ -12,12 +12,14 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"strconv"
 
+	"repro/internal/core"
 	"repro/internal/corpus"
 )
 
@@ -49,6 +51,30 @@ func main() {
 	write("internal/htmldoc/testdata/fuzz/FuzzTokenize", html)
 	write("internal/depparse/testdata/fuzz/FuzzParse", sentences)
 	write("internal/service/testdata/fuzz/FuzzQuery", queries)
+
+	// snapshot-format seeds: a valid gob stream per guide plus the corrupt
+	// shapes a crash or disk fault could produce — truncation, bit rot, and
+	// a plausible-looking stream with a skewed leading version
+	var snaps []seed
+	for name, reg := range guides {
+		g := corpus.GenerateSized(reg, 60, 0.3, 11)
+		adv := core.New().BuildFromSentences(g.Doc, g.Sentences)
+		var buf bytes.Buffer
+		if err := adv.Save(&buf); err != nil {
+			log.Fatal(err)
+		}
+		valid := buf.Bytes()
+		snaps = append(snaps, seed{name + "_snapshot", string(valid)})
+		if name == "cuda" {
+			snaps = append(snaps, seed{"cuda_truncated", string(valid[:len(valid)/2])})
+			flipped := bytes.Clone(valid)
+			flipped[len(flipped)/3] ^= 0xff
+			snaps = append(snaps, seed{"cuda_bitrot", string(flipped)})
+			snaps = append(snaps, seed{"cuda_head_only", string(valid[:24])})
+		}
+	}
+	snaps = append(snaps, seed{"empty", ""}, seed{"not_gob", "{\"advisor\":\"cuda\"}"})
+	writeBytes("internal/core/testdata/fuzz/FuzzLoadAdvisor", snaps)
 }
 
 type seed struct{ name, value string }
@@ -60,6 +86,20 @@ func write(dir string, seeds []seed) {
 	}
 	for _, s := range seeds {
 		body := "go test fuzz v1\nstring(" + strconv.Quote(s.value) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("%s: %d seeds", dir, len(seeds))
+}
+
+// writeBytes is write for []byte-typed fuzz targets (binary inputs).
+func writeBytes(dir string, seeds []seed) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(s.value) + ")\n"
 		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
 			log.Fatal(err)
 		}
