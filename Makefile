@@ -1,5 +1,5 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check vet fmt build test race fuzz bench bench-all cover serve
+.PHONY: check vet fmt build test race fuzz bench bench-all benchrot cover serve
 
 check: ## vet + gofmt + build + race-enabled tests + fuzz smoke (the tier-1 gate)
 	go vet ./...
@@ -34,13 +34,15 @@ race:
 
 # Trajectory benchmarks: the fixed-size numbers tracked across PRs.
 # Flags are pinned so results stay comparable between runs.
-BENCH_TRACKED = BenchmarkBuildAdvisor150|BenchmarkAnnotateOnce|BenchmarkServiceQuery
-bench: ## cross-PR trajectory benchmarks (build pipeline, annotate-once, serving, warm start)
-	go test -run '^$$' -bench '$(BENCH_TRACKED)' -benchmem -count 1 .
-	go test -run '^$$' -bench 'BenchmarkColdBuild|BenchmarkWarmStart' -benchmem -count 1 ./internal/lifecycle
+BENCH_TRACKED = BenchmarkBuildAdvisor150|BenchmarkAnnotateOnce|BenchmarkServiceQuery|BenchmarkColdBuild|BenchmarkWarmStart|BenchmarkIncrementalRebuild
+bench: ## cross-PR trajectory benchmarks (build pipeline, annotate-once, serving, lifecycle)
+	go test -run '^$$' -bench '$(BENCH_TRACKED)' -benchmem -count 1 . ./internal/lifecycle
 
 bench-all: ## full sweep: per-table benchmarks + serving/index ablations
 	go test -run '^$$' -bench . -benchmem ./...
+
+benchrot: ## bench-rot gate: compile and run every benchmark once (1 iteration)
+	go test -run '^$$' -bench . -benchtime=1x ./...
 
 # Statement-coverage gate. COVER_BASELINE is the seed total measured when
 # the gate was introduced; raise it when coverage durably improves, never

@@ -10,10 +10,17 @@
 //	egeria -doc guide.html report report.txt   # answer a report file
 //	egeria -corpus cuda serve -addr :8080
 //	egeria -corpus cuda -corpora opencl,xeon serve   # multi-advisor registry
+//	egeria diff advisor.snap guide.html              # what changed since the snapshot?
 //
 // The -corpus flag selects a built-in synthetic guide (cuda, opencl, xeon)
 // instead of an HTML document; -xeon-tuned applies the paper's §4.3 keyword
 // tuning; -threshold overrides the 0.15 recommendation threshold.
+//
+// diff compares a saved advisor snapshot against the current version of a
+// source (a document file, or a built-in corpus name with -seed) by stable
+// sentence identity: it prints the kept/added/removed partition, the change
+// ratio, and whether a serve reload at -incremental-threshold would take
+// the differential rebuild path or run the full pipeline.
 //
 // serve hosts the production layer of internal/service: the HTML UI at /
 // (with a federated /ask page), a JSON API under /v1/ (advisors, rules,
@@ -46,6 +53,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/doc"
 	"repro/internal/htmldoc"
 	"repro/internal/lifecycle"
 	"repro/internal/nvvp"
@@ -77,10 +85,13 @@ func main() {
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request deadline")
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests whose span trees are recorded for /tracez (0 = off, 1 = every request)")
 
-		// corpus lifecycle flags (serve subcommand)
+		// corpus lifecycle flags (serve subcommand; -incremental-threshold
+		// also sets the mode the diff subcommand predicts)
 		snapshotDir     = flag.String("snapshot-dir", "", "directory of advisor snapshots: serve warm-starts from it and persists rebuilds to it (empty: cold build, no persistence)")
 		watch           = flag.Bool("watch", false, "poll source documents and hot-reload advisors when they change")
 		rebuildInterval = flag.Duration("rebuild-interval", 15*time.Second, "poll period for -watch")
+		incrThreshold   = flag.Float64("incremental-threshold", lifecycle.DefaultIncrementalThreshold,
+			"change-ratio ceiling for differential rebuilds: edits touching at most this fraction of a document reuse the previous advisor's per-sentence work (negative disables incremental rebuilds)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -156,6 +167,7 @@ func main() {
 			snapshotDir:     *snapshotDir,
 			watch:           *watch,
 			rebuildInterval: *rebuildInterval,
+			incrThreshold:   *incrThreshold,
 			cacheSize:       *cacheSize,
 			maxInflight:     *maxInflight,
 			maxBatch:        *maxBatch,
@@ -203,9 +215,83 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("synthetic guide exported to %s", args[1])
+	case "diff":
+		// diff <snapshot> <source> — compare a saved advisor against the
+		// current version of its source by sentence identity, and predict
+		// whether a reload would rebuild incrementally or in full
+		if len(args) < 3 {
+			log.Fatal("diff requires a snapshot path and a source (document path or built-in corpus name)")
+		}
+		if err := cmdDiff(args[1], args[2], *seed, *incrThreshold); err != nil {
+			log.Fatal(err)
+		}
 	default:
-		log.Fatalf("unknown subcommand %q (want rules, query, report, repl, serve, save, load, export)", args[0])
+		log.Fatalf("unknown subcommand %q (want rules, query, report, repl, serve, save, load, export, diff)", args[0])
 	}
+}
+
+// diffSampleCap bounds how many added/removed sentences cmdDiff prints.
+const diffSampleCap = 10
+
+// loadDiffSource resolves the diff subcommand's source argument: a document
+// file when it has a known extension, otherwise a built-in corpus name
+// generated with -seed.
+func loadDiffSource(source string, seed int64) (*htmldoc.Document, []htmldoc.Sentence, error) {
+	switch filepath.Ext(source) {
+	case ".html", ".htm", ".md", ".markdown", ".txt":
+		d, err := parseDocFile(source)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d, d.Sentences(), nil
+	}
+	reg, err := corpusRegister(source)
+	if err != nil {
+		return nil, nil, fmt.Errorf("diff source %q is neither a document path (.html, .md, .txt) nor a built-in corpus name", source)
+	}
+	g := corpus.Generate(reg, seed)
+	return g.Doc, g.Sentences, nil
+}
+
+// cmdDiff prints the identity diff between a saved advisor and the current
+// version of a source: the kept/added/removed partition, the change ratio,
+// and the rebuild mode a serve reload would pick at the given threshold.
+func cmdDiff(snapPath, source string, seed int64, threshold float64) error {
+	advisor, err := loadAdvisorFile(snapPath)
+	if err != nil {
+		return err
+	}
+	d, sents, err := loadDiffSource(source, seed)
+	if err != nil {
+		return err
+	}
+	sents = htmldoc.StampIDs(d, sents)
+	diffs := doc.Diff(advisor.SentenceIDs(), htmldoc.IDsOf(sents))
+
+	fmt.Printf("%s (%d sentences) vs %s (%d sentences)\n", snapPath, diffs.OldLen, source, diffs.NewLen)
+	fmt.Printf("  kept    %d\n  added   %d\n  removed %d\n", len(diffs.Kept), len(diffs.Added), len(diffs.Removed))
+	fmt.Printf("  change ratio %.3f, reuse ratio %.3f\n", diffs.ChangeRatio(), diffs.ReuseRatio())
+	mode := "full"
+	if threshold >= 0 && diffs.ChangeRatio() <= threshold {
+		mode = "incremental"
+	}
+	fmt.Printf("  a reload at -incremental-threshold %.2f would rebuild: %s\n", threshold, mode)
+
+	for i, j := range diffs.Added {
+		if i == diffSampleCap {
+			fmt.Printf("  ... and %d more added\n", len(diffs.Added)-diffSampleCap)
+			break
+		}
+		fmt.Printf("  + %s\n", sents[j].Text)
+	}
+	for i, k := range diffs.Removed {
+		if i == diffSampleCap {
+			fmt.Printf("  ... and %d more removed\n", len(diffs.Removed)-diffSampleCap)
+			break
+		}
+		fmt.Printf("  - %s\n", advisor.SentenceText(k))
+	}
+	return nil
 }
 
 // cmdLoad answers a subcommand from a snapshot file written by save,
@@ -265,21 +351,29 @@ func configFingerprint(cfg selectors.Config, threshold float64) string {
 	return store.HashBytes(blob)
 }
 
+// parseDocFile loads and parses an on-disk document, choosing the parser by
+// file extension (.md/.markdown, .txt, else HTML).
+func parseDocFile(path string) (*htmldoc.Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasSuffix(path, ".md") || strings.HasSuffix(path, ".markdown"):
+		return htmldoc.ParseMarkdown(string(data)), nil
+	case strings.HasSuffix(path, ".txt"):
+		return htmldoc.ParsePlainText(string(data)), nil
+	default:
+		return htmldoc.Parse(string(data)), nil
+	}
+}
+
 func buildAdvisor(fw *core.Framework, docPath, corpusReg string, seed int64) (*core.Advisor, string, error) {
 	switch {
 	case docPath != "":
-		data, err := os.ReadFile(docPath)
+		doc, err := parseDocFile(docPath)
 		if err != nil {
 			return nil, "", err
-		}
-		var doc *htmldoc.Document
-		switch {
-		case strings.HasSuffix(docPath, ".md") || strings.HasSuffix(docPath, ".markdown"):
-			doc = htmldoc.ParseMarkdown(string(data))
-		case strings.HasSuffix(docPath, ".txt"):
-			doc = htmldoc.ParsePlainText(string(data))
-		default:
-			doc = htmldoc.Parse(string(data))
 		}
 		return fw.BuildFromDocument(doc), docPath, nil
 	case corpusReg != "":
@@ -342,6 +436,7 @@ type serveConfig struct {
 	snapshotDir     string // "" disables the snapshot store
 	watch           bool
 	rebuildInterval time.Duration
+	incrThreshold   float64 // change-ratio ceiling for differential rebuilds (0: default, negative: disabled)
 	cacheSize       int
 	maxInflight     int
 	maxBatch        int
@@ -365,8 +460,13 @@ func corpusSource(fw *core.Framework, name string, reg corpus.Register, seed int
 		Fingerprint: func() (string, error) { return fp, nil },
 		Build: func(ctx context.Context) (*core.Advisor, error) {
 			g := corpus.Generate(reg, seed)
-			return fw.BuildFromSentences(g.Doc, g.Sentences), nil
+			return fw.BuildFromSentencesCtx(ctx, g.Doc, g.Sentences), nil
 		},
+		Sentences: func(ctx context.Context) (*htmldoc.Document, []htmldoc.Sentence, error) {
+			g := corpus.Generate(reg, seed)
+			return g.Doc, g.Sentences, nil
+		},
+		Update: fw.UpdateFromSentencesCtx,
 	}
 }
 
@@ -385,21 +485,20 @@ func docSource(fw *core.Framework, name, path, cfgHash string) lifecycle.Source 
 			return store.HashBytes([]byte("doc:" + h + ":cfg=" + cfgHash)), nil
 		},
 		Build: func(ctx context.Context) (*core.Advisor, error) {
-			data, err := os.ReadFile(path)
+			doc, err := parseDocFile(path)
 			if err != nil {
 				return nil, err
 			}
-			var doc *htmldoc.Document
-			switch {
-			case strings.HasSuffix(path, ".md") || strings.HasSuffix(path, ".markdown"):
-				doc = htmldoc.ParseMarkdown(string(data))
-			case strings.HasSuffix(path, ".txt"):
-				doc = htmldoc.ParsePlainText(string(data))
-			default:
-				doc = htmldoc.Parse(string(data))
-			}
-			return fw.BuildFromDocument(doc), nil
+			return fw.BuildFromSentencesCtx(ctx, doc, doc.Sentences()), nil
 		},
+		Sentences: func(ctx context.Context) (*htmldoc.Document, []htmldoc.Sentence, error) {
+			doc, err := parseDocFile(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			return doc, doc.Sentences(), nil
+		},
+		Update: fw.UpdateFromSentencesCtx,
 	}
 }
 
@@ -458,11 +557,12 @@ func buildServeHandler(fw *core.Framework, cfg serveConfig, logger *slog.Logger)
 
 	registry := service.NewRegistry()
 	mgr := lifecycle.New(lifecycle.Options{
-		Store:    snapStore,
-		Register: registry.Add,
-		Interval: cfg.rebuildInterval,
-		Logger:   logger,
-		Metrics:  cfg.metrics,
+		Store:                snapStore,
+		Register:             registry.Add,
+		Interval:             cfg.rebuildInterval,
+		Logger:               logger,
+		Metrics:              cfg.metrics,
+		IncrementalThreshold: cfg.incrThreshold,
 	})
 	for _, src := range sources {
 		if err := mgr.AddSource(src); err != nil {

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/doc"
 	"repro/internal/htmldoc"
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
@@ -111,6 +112,7 @@ type AdvisingSentence struct {
 type BuildStats struct {
 	Sentences  int
 	Advising   int
+	Reused     int // sentences whose annotation+classification carried over (incremental builds)
 	BySelector map[selectors.SelectorID]int
 	Annotate   time.Duration // annotation time (tokenize, tag, parse, stem)
 	Classify   time.Duration // selector time over the shared annotations
@@ -124,6 +126,8 @@ type Advisor struct {
 	builtAt   time.Time
 	doc       *htmldoc.Document
 	sentences []htmldoc.Sentence
+	ids       []doc.SentenceID  // per-sentence stable identities (aligned with sentences)
+	anns      []*nlp.Annotation // per-sentence annotations, retained for incremental rebuilds
 	advising  []AdvisingSentence
 	isAdv     []bool // per sentence index
 	index     *vsm.Index
@@ -185,9 +189,11 @@ func (f *Framework) BuildFromSentencesCtx(ctx context.Context, doc *htmldoc.Docu
 		ctx = obs.ContextWithSpan(ctx, buildSpan)
 		defer buildSpan.Finish()
 	}
+	sents = htmldoc.StampIDs(doc, sents)
 	a := &Advisor{
 		doc:       doc,
 		sentences: sents,
+		ids:       htmldoc.IDsOf(sents),
 		isAdv:     make([]bool, len(sents)),
 		threshold: f.threshold,
 		builtAt:   time.Now(),
@@ -204,6 +210,7 @@ func (f *Framework) BuildFromSentencesCtx(ctx context.Context, doc *htmldoc.Docu
 	// stage 1: annotate (tokenize, tag, parse, stem) each sentence once
 	start := time.Now()
 	anns := f.annotator.AnnotateAllCtx(ctx, texts)
+	a.anns = anns
 	a.stats.Annotate = time.Since(start)
 	buildAnnotate.ObserveDuration(a.stats.Annotate)
 
@@ -307,6 +314,29 @@ func (f *Framework) classifyAnnotated(anns []*nlp.Annotation) []selectors.Result
 // Rules returns the Stage-I output: the concise list of advising sentences
 // extracted from the document (what the tool's front page shows).
 func (a *Advisor) Rules() []AdvisingSentence { return a.advising }
+
+// SentenceIDs returns the stable identity of every sentence, aligned with
+// document order — the left-hand side of doc.Diff when this advisor is the
+// previous version of a document.
+func (a *Advisor) SentenceIDs() []doc.SentenceID { return a.ids }
+
+// HasIdentity reports whether the advisor retains enough per-sentence state
+// to serve as the base of an incremental rebuild: a stamped identity and an
+// annotation (at least term-only, see nlp.FromSavedTerms) for every
+// sentence. Freshly built advisors always do; advisors loaded from
+// pre-identity snapshots without term lists do not, and updates from them
+// fall back to a full build.
+func (a *Advisor) HasIdentity() bool {
+	if len(a.ids) != len(a.sentences) || len(a.anns) != len(a.sentences) {
+		return false
+	}
+	for i := range a.sentences {
+		if a.ids[i] == "" || a.anns[i] == nil {
+			return false
+		}
+	}
+	return true
+}
 
 // SentenceCount returns the document's total sentence count.
 func (a *Advisor) SentenceCount() int { return len(a.sentences) }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/htmldoc"
+	"repro/internal/nlp"
 	"repro/internal/selectors"
 	"repro/internal/textproc"
 	"repro/internal/vsm"
@@ -19,6 +20,11 @@ const snapshotVersion = 1
 // rebuilt on load from the stored per-sentence term lists (deterministic and
 // far cheaper than re-normalizing text); what persistence buys is skipping
 // Stage I, the expensive NLP pass over the document.
+//
+// Sentence identities ride along inside Sentences (htmldoc.Sentence.ID is a
+// gob field); gob matches fields by name, so pre-identity snapshots decode
+// with empty IDs and load re-stamps them — the ID is a pure function of the
+// stored section paths and texts, so a re-stamp reproduces the original.
 type advisorSnapshot struct {
 	Version   int
 	Threshold float64
@@ -38,7 +44,13 @@ type advisorSnapshot struct {
 func (a *Advisor) Save(w io.Writer) error {
 	terms := make([][]string, len(a.sentences))
 	for i, s := range a.sentences {
-		terms[i] = textproc.NormalizeTerms(s.Text)
+		// the retained annotation's terms are bit-exact with NormalizeTerms;
+		// prefer them so saving doesn't re-tokenize the document
+		if i < len(a.anns) && a.anns[i] != nil {
+			terms[i] = a.anns[i].Terms()
+		} else {
+			terms[i] = textproc.NormalizeTerms(s.Text)
+		}
 	}
 	snap := advisorSnapshot{
 		Version:   snapshotVersion,
@@ -88,6 +100,11 @@ func LoadAdvisor(r io.Reader) (*Advisor, error) {
 	if snap.Title != "" || len(snap.Sections) > 0 {
 		a.doc = htmldoc.FromBlocks(snap.Title, snap.Sections)
 	}
+	// stamp identities for pre-identity snapshots: the ID is a function of
+	// the stored section path, text, and ordinal, so re-stamping reproduces
+	// exactly the IDs the original build assigned
+	a.sentences = htmldoc.StampIDs(a.doc, a.sentences)
+	a.ids = htmldoc.IDsOf(a.sentences)
 	for _, adv := range snap.Advising {
 		if adv.Index < 0 || adv.Index >= len(a.isAdv) {
 			return nil, fmt.Errorf("core: snapshot advising index %d out of range", adv.Index)
@@ -99,9 +116,18 @@ func LoadAdvisor(r io.Reader) (*Advisor, error) {
 			return nil, fmt.Errorf("core: snapshot has %d term lists for %d sentences",
 				len(snap.Terms), len(snap.Sentences))
 		}
+		// term-only annotations make the loaded advisor a valid incremental
+		// base: a warm-started source can still take the differential path
+		a.anns = make([]*nlp.Annotation, len(a.sentences))
+		for i, s := range a.sentences {
+			a.anns[i] = nlp.FromSavedTerms(s.Text, snap.Terms[i])
+		}
 		a.index = vsm.BuildFromTerms(snap.Terms)
 		return a, nil
 	}
+	// no stored terms: the annotations are gone and rebuilding them here
+	// would re-run the NLP pass Save exists to skip — leave anns nil
+	// (HasIdentity false) so updates from this advisor take the full path
 	texts := make([]string, len(snap.Sentences))
 	for i, s := range snap.Sentences {
 		texts[i] = s.Text

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"strings"
 	"testing"
 
 	"repro/internal/corpus"
+	"repro/internal/htmldoc"
+	"repro/internal/textproc"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -92,6 +95,95 @@ func TestLoadAdvisorErrors(t *testing.T) {
 	}
 	if _, err := LoadAdvisor(bytes.NewReader(nil)); err == nil {
 		t.Error("empty stream accepted")
+	}
+}
+
+// legacySentence / legacySnapshot mirror the pre-identity wire shapes (no
+// Sentence.ID field). gob matches struct fields by name, so encoding them
+// reproduces exactly the streams older builds wrote.
+type legacySentence struct {
+	Text    string
+	Section int
+}
+
+type legacySnapshot struct {
+	Version   int
+	Threshold float64
+	Title     string
+	Sections  []htmldoc.Section
+	Sentences []legacySentence
+	Advising  []AdvisingSentence
+	Terms     [][]string
+}
+
+// TestLoadLegacySnapshot pins snapshot back-compat: streams written before
+// sentence identity existed (no ID field; with or without per-sentence
+// Terms) must keep loading, answer identically to a fresh build, and — when
+// Terms are present — come back as a valid incremental-rebuild base with the
+// exact IDs a fresh extraction would stamp.
+func TestLoadLegacySnapshot(t *testing.T) {
+	g := corpus.GenerateSized(corpus.CUDA, 120, 0.3, 41)
+	fresh := New().BuildFromSentences(g.Doc, g.Sentences)
+	snap := legacySnapshot{
+		Version:   1,
+		Threshold: 0.15,
+		Title:     g.Doc.Title,
+		Sections:  g.Doc.Sections,
+		Advising:  fresh.Rules(),
+	}
+	for _, s := range g.Sentences {
+		snap.Sentences = append(snap.Sentences, legacySentence{Text: s.Text, Section: s.Section})
+		snap.Terms = append(snap.Terms, textproc.NormalizeTerms(s.Text))
+	}
+
+	for _, tc := range []struct {
+		name         string
+		terms        [][]string
+		wantIdentity bool
+	}{
+		{"terms_only", snap.Terms, true},
+		{"no_terms", nil, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy := snap
+			legacy.Terms = tc.terms
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadAdvisor(&buf)
+			if err != nil {
+				t.Fatalf("legacy snapshot rejected: %v", err)
+			}
+			if got := loaded.HasIdentity(); got != tc.wantIdentity {
+				t.Fatalf("HasIdentity = %v, want %v", got, tc.wantIdentity)
+			}
+			// load re-stamps the IDs a fresh extraction would assign
+			fid, lid := fresh.SentenceIDs(), loaded.SentenceIDs()
+			if len(fid) != len(lid) {
+				t.Fatalf("%d vs %d sentence IDs", len(fid), len(lid))
+			}
+			for i := range fid {
+				if fid[i] != lid[i] {
+					t.Fatalf("sentence %d: re-stamped ID %s, fresh build has %s", i, lid[i], fid[i])
+				}
+			}
+			lr := loaded.Rules()
+			if len(lr) != len(fresh.Rules()) {
+				t.Fatalf("rules: %d vs %d", len(lr), len(fresh.Rules()))
+			}
+			for _, q := range []string{"how to avoid shared memory bank conflicts", "reduce warp divergence"} {
+				fa, la := fresh.Query(q), loaded.Query(q)
+				if len(fa) != len(la) {
+					t.Fatalf("query %q: %d vs %d answers", q, len(fa), len(la))
+				}
+				for i := range fa {
+					if fa[i].Sentence.Index != la[i].Sentence.Index || !almostEq(fa[i].Score, la[i].Score) {
+						t.Fatalf("query %q answer %d differs", q, i)
+					}
+				}
+			}
+		})
 	}
 }
 

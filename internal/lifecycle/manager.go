@@ -33,6 +33,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/doc"
+	"repro/internal/htmldoc"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -59,6 +61,18 @@ type Source struct {
 	Fingerprint func() (string, error)
 	// Build constructs the advisor from source — the expensive Stage-I path.
 	Build func(ctx context.Context) (*core.Advisor, error)
+	// Sentences extracts the source's current document and sentence list
+	// without building — the cheap front half of Build, used to diff a
+	// changed source against the serving advisor by sentence identity.
+	// Optional; nil disables the incremental rebuild path for this source.
+	Sentences func(ctx context.Context) (*htmldoc.Document, []htmldoc.Sentence, error)
+	// Update incrementally rebuilds from the previous advisor (typically
+	// core.Framework.UpdateFromSentencesCtx): Stage I runs only over the
+	// sentences the diff marked Added. Optional; nil disables the
+	// incremental path. The result must be equivalent to a full Build of
+	// the same sentences — the manager verifies and snapshots it the same
+	// way.
+	Update func(ctx context.Context, prev *core.Advisor, d *htmldoc.Document, sents []htmldoc.Sentence) (*core.Advisor, error)
 }
 
 // Options configures a Manager. Registry registration and hot swap are
@@ -89,7 +103,20 @@ type Options struct {
 	// Metrics is the registry for the lifecycle_* counters and histograms
 	// (default obs.Default()).
 	Metrics *obs.Registry
+	// IncrementalThreshold is the change-ratio ceiling for differential
+	// rebuilds: when a changed source's sentence diff against the serving
+	// advisor has ChangeRatio <= threshold, the rebuild reuses the previous
+	// advisor's per-sentence work (Source.Update) instead of running the
+	// full pipeline. 0 selects the default 0.30; negative disables the
+	// incremental path entirely. Values above ~1 make every edit
+	// incremental (a full rewrite has ratio ~2).
+	IncrementalThreshold float64
 }
+
+// DefaultIncrementalThreshold is the change-ratio ceiling below which a
+// rebuild takes the differential path. 30%: past that, the fixed costs of
+// the full pipeline dominate anyway and the diff bookkeeping buys little.
+const DefaultIncrementalThreshold = 0.30
 
 func (o Options) withDefaults() Options {
 	if o.Interval <= 0 {
@@ -115,21 +142,27 @@ func (o Options) withDefaults() Options {
 	if o.Register == nil {
 		o.Register = func(string, *core.Advisor) {}
 	}
+	if o.IncrementalThreshold == 0 {
+		o.IncrementalThreshold = DefaultIncrementalThreshold
+	}
 	return o
 }
 
 // sourceState is one source's live bookkeeping.
 type sourceState struct {
-	src      Source
-	inflight bool
-	liveHash string // fingerprint of the serving advisor
-	pending  string // changed fingerprint awaiting debounce confirmation
-	origin   string // "snapshot" or "build"
-	builtAt  time.Time
-	lastSwap time.Time
-	reloads  int64
-	lastDiff string
-	lastErr  string
+	src       Source
+	inflight  bool
+	current   *core.Advisor // the serving advisor — the base of the next incremental rebuild
+	liveHash  string        // fingerprint of the serving advisor
+	pending   string        // changed fingerprint awaiting debounce confirmation
+	origin    string        // "snapshot" or "build"
+	builtAt   time.Time
+	lastSwap  time.Time
+	reloads   int64
+	lastDiff  string
+	lastErr   string
+	lastMode  string  // "incremental" or "full" — how the last rebuild ran
+	lastReuse float64 // reuse ratio of the last incremental rebuild
 }
 
 // Manager owns the corpus lifecycle for a set of sources.
@@ -143,14 +176,16 @@ type Manager struct {
 	running atomic.Bool
 	slots   chan struct{} // bounded build pool
 
-	reloads   *obs.Counter
-	hits      *obs.Counter
-	misses    *obs.Counter
-	corrupt   *obs.Counter
-	failures  *obs.Counter
-	swapHist  *obs.Histogram
-	buildHist *obs.Histogram
-	loadHist  *obs.Histogram
+	reloads     *obs.Counter
+	hits        *obs.Counter
+	misses      *obs.Counter
+	corrupt     *obs.Counter
+	failures    *obs.Counter
+	rebuildIncr *obs.Counter // lifecycle_rebuild_total{mode="incremental"}
+	rebuildFull *obs.Counter // lifecycle_rebuild_total{mode="full"}
+	swapHist    *obs.Histogram
+	buildHist   *obs.Histogram
+	loadHist    *obs.Histogram
 }
 
 // New creates a Manager; add sources with AddSource, then WarmStart and
@@ -158,18 +193,20 @@ type Manager struct {
 func New(opts Options) *Manager {
 	opts = opts.withDefaults()
 	m := &Manager{
-		opts:      opts,
-		sources:   map[string]*sourceState{},
-		swap:      opts.Swap,
-		slots:     make(chan struct{}, opts.Workers),
-		reloads:   opts.Metrics.Counter("lifecycle_reloads_total"),
-		hits:      opts.Metrics.Counter("lifecycle_snapshot_hits_total"),
-		misses:    opts.Metrics.Counter("lifecycle_snapshot_misses_total"),
-		corrupt:   opts.Metrics.Counter("lifecycle_snapshot_corrupt_total"),
-		failures:  opts.Metrics.Counter("lifecycle_build_failures_total"),
-		swapHist:  opts.Metrics.Histogram("lifecycle_swap_latency_micros"),
-		buildHist: opts.Metrics.Histogram("lifecycle_build_micros"),
-		loadHist:  opts.Metrics.Histogram("lifecycle_snapshot_load_micros"),
+		opts:        opts,
+		sources:     map[string]*sourceState{},
+		swap:        opts.Swap,
+		slots:       make(chan struct{}, opts.Workers),
+		reloads:     opts.Metrics.Counter("lifecycle_reloads_total"),
+		hits:        opts.Metrics.Counter("lifecycle_snapshot_hits_total"),
+		misses:      opts.Metrics.Counter("lifecycle_snapshot_misses_total"),
+		corrupt:     opts.Metrics.Counter("lifecycle_snapshot_corrupt_total"),
+		failures:    opts.Metrics.Counter("lifecycle_build_failures_total"),
+		rebuildIncr: opts.Metrics.Counter(`lifecycle_rebuild_total{mode="incremental"}`),
+		rebuildFull: opts.Metrics.Counter(`lifecycle_rebuild_total{mode="full"}`),
+		swapHist:    opts.Metrics.Histogram("lifecycle_swap_latency_micros"),
+		buildHist:   opts.Metrics.Histogram("lifecycle_build_micros"),
+		loadHist:    opts.Metrics.Histogram("lifecycle_snapshot_load_micros"),
 	}
 	return m
 }
@@ -283,7 +320,7 @@ func (m *Manager) startOne(ctx context.Context, name string) error {
 			loadSpan.Finish()
 			m.hits.Inc()
 			m.opts.Register(name, adv)
-			m.noteStarted(name, fp, "snapshot", man.BuiltAt)
+			m.noteStarted(name, adv, fp, "snapshot", man.BuiltAt)
 			m.opts.Logger.Info("warm start from snapshot", "advisor", name, "rules", man.Rules)
 			return nil
 		case lerr == nil:
@@ -313,14 +350,15 @@ func (m *Manager) startOne(ctx context.Context, name string) error {
 	}
 	m.snapshot(name, st.src, adv, fp)
 	m.opts.Register(name, adv)
-	m.noteStarted(name, fp, "build", adv.BuiltAt())
+	m.noteStarted(name, adv, fp, "build", adv.BuiltAt())
 	m.opts.Logger.Info("cold built", "advisor", name, "rules", len(adv.Rules()))
 	return nil
 }
 
-func (m *Manager) noteStarted(name, fp, origin string, builtAt time.Time) {
+func (m *Manager) noteStarted(name string, adv *core.Advisor, fp, origin string, builtAt time.Time) {
 	m.mu.Lock()
 	st := m.sources[name]
+	st.current = adv
 	st.liveHash = fp
 	st.origin = origin
 	st.builtAt = builtAt
@@ -348,6 +386,69 @@ func (m *Manager) buildVerified(ctx context.Context, name string, src Source) (*
 		return nil, fmt.Errorf("lifecycle: %s: %w", name, err)
 	}
 	return adv, nil
+}
+
+// tryIncremental attempts the differential rebuild path: extract the
+// source's current sentences, diff them against the serving advisor by
+// stable identity, and — when the change ratio is at or below the
+// incremental threshold — rebuild through Source.Update, re-running Stage I
+// only over the Added sentences. Returns ok=false (never an error) whenever
+// the path does not apply or fails; the caller falls back to a full build.
+// The diff itself is recorded as a lifecycle.diff span with the
+// added/removed/kept partition sizes and the change ratio.
+func (m *Manager) tryIncremental(ctx context.Context, name string, src Source, prev *core.Advisor) (*core.Advisor, float64, bool) {
+	if m.opts.IncrementalThreshold < 0 || src.Sentences == nil || src.Update == nil {
+		return nil, 0, false
+	}
+	if prev == nil || !prev.HasIdentity() {
+		return nil, 0, false
+	}
+	d, sents, err := src.Sentences(ctx)
+	if err != nil {
+		m.opts.Logger.Warn("incremental path: sentence extraction failed, falling back to full build",
+			"advisor", name, "err", err)
+		return nil, 0, false
+	}
+	diffSpan := obs.SpanFrom(ctx).StartChild("lifecycle.diff")
+	diffSpan.SetAttr("advisor", name)
+	sents = htmldoc.StampIDs(d, sents)
+	diffs := doc.Diff(prev.SentenceIDs(), htmldoc.IDsOf(sents))
+	ratio := diffs.ChangeRatio()
+	diffSpan.SetAttrInt("added", len(diffs.Added))
+	diffSpan.SetAttrInt("removed", len(diffs.Removed))
+	diffSpan.SetAttrInt("kept", len(diffs.Kept))
+	diffSpan.SetAttr("change_ratio", fmt.Sprintf("%.3f", ratio))
+	if ratio > m.opts.IncrementalThreshold {
+		diffSpan.SetAttr("outcome", "full")
+		diffSpan.Finish()
+		m.opts.Logger.Info("change ratio above threshold, full rebuild",
+			"advisor", name, "ratio", ratio, "threshold", m.opts.IncrementalThreshold)
+		return nil, 0, false
+	}
+	diffSpan.SetAttr("outcome", "incremental")
+	diffSpan.Finish()
+
+	buildSpan := obs.SpanFrom(ctx).StartChild("lifecycle.build")
+	buildSpan.SetAttr("advisor", name)
+	buildSpan.SetAttr("mode", "incremental")
+	start := time.Now()
+	adv, err := src.Update(ctx, prev, d, sents)
+	m.buildHist.ObserveDuration(time.Since(start))
+	buildSpan.Finish()
+	if err != nil {
+		m.opts.Logger.Warn("incremental rebuild failed, falling back to full build",
+			"advisor", name, "err", err)
+		return nil, 0, false
+	}
+	verifySpan := obs.SpanFrom(ctx).StartChild("lifecycle.verify")
+	err = Verify(adv)
+	verifySpan.Finish()
+	if err != nil {
+		m.opts.Logger.Warn("incremental rebuild failed verification, falling back to full build",
+			"advisor", name, "err", err)
+		return nil, 0, false
+	}
+	return adv, diffs.ReuseRatio(), true
 }
 
 // snapshot persists a freshly built advisor; failures are logged, not fatal
@@ -498,11 +599,20 @@ func (m *Manager) rebuild(ctx context.Context, name string) error {
 			lastErr = fmt.Errorf("lifecycle: fingerprint %s: %w", name, err)
 			continue
 		}
-		adv, err := m.buildVerified(ctx, name, st.src)
-		if err != nil {
-			lastErr = err
-			m.opts.Logger.Warn("rebuild attempt failed", "advisor", name, "attempt", attempt+1, "err", err)
-			continue
+		m.mu.Lock()
+		prev := st.current
+		m.mu.Unlock()
+		mode, reuse := "full", 0.0
+		adv, r, ok := m.tryIncremental(ctx, name, st.src, prev)
+		if ok {
+			mode, reuse = "incremental", r
+		} else {
+			adv, err = m.buildVerified(ctx, name, st.src)
+			if err != nil {
+				lastErr = err
+				m.opts.Logger.Warn("rebuild attempt failed", "advisor", name, "attempt", attempt+1, "err", err)
+				continue
+			}
 		}
 		m.snapshot(name, st.src, adv, fp)
 
@@ -513,8 +623,14 @@ func (m *Manager) rebuild(ctx context.Context, name string) error {
 		swapSpan.SetAttr("diff", diff.Short())
 		swapSpan.Finish()
 		m.reloads.Inc()
+		if mode == "incremental" {
+			m.rebuildIncr.Inc()
+		} else {
+			m.rebuildFull.Inc()
+		}
 
 		m.mu.Lock()
+		st.current = adv
 		st.liveHash = fp
 		st.origin = "build"
 		st.builtAt = adv.BuiltAt()
@@ -522,8 +638,10 @@ func (m *Manager) rebuild(ctx context.Context, name string) error {
 		st.reloads++
 		st.lastDiff = diff.Short()
 		st.lastErr = ""
+		st.lastMode = mode
+		st.lastReuse = reuse
 		m.mu.Unlock()
-		m.opts.Logger.Info("hot-swapped", "advisor", name, "diff", diff.Short())
+		m.opts.Logger.Info("hot-swapped", "advisor", name, "diff", diff.Short(), "mode", mode)
 		return nil
 	}
 	m.setLastErr(name, lastErr.Error())
@@ -551,45 +669,56 @@ type AdvisorState struct {
 	LastDiff   string    `json:"last_diff,omitempty"`
 	LastError  string    `json:"last_error,omitempty"`
 	Rebuilding bool      `json:"rebuilding,omitempty"`
+	// LastMode reports how the last rebuild ran ("incremental" or "full";
+	// "" before the first rebuild); LastReuseRatio is the fraction of the
+	// document's sentences the last incremental rebuild carried over.
+	LastMode       string  `json:"last_mode,omitempty"`
+	LastReuseRatio float64 `json:"last_reuse_ratio,omitempty"`
 }
 
 // State is the lifecycle snapshot served on /statsz.
 type State struct {
-	Watching       bool           `json:"watching"`
-	Paused         bool           `json:"paused"`
-	Reloads        int64          `json:"reloads"`
-	SnapshotHits   int64          `json:"snapshot_hits"`
-	SnapshotMisses int64          `json:"snapshot_misses"`
-	SnapshotBad    int64          `json:"snapshot_corrupt"`
-	BuildFailures  int64          `json:"build_failures"`
-	Advisors       []AdvisorState `json:"advisors"`
+	Watching            bool           `json:"watching"`
+	Paused              bool           `json:"paused"`
+	Reloads             int64          `json:"reloads"`
+	SnapshotHits        int64          `json:"snapshot_hits"`
+	SnapshotMisses      int64          `json:"snapshot_misses"`
+	SnapshotBad         int64          `json:"snapshot_corrupt"`
+	BuildFailures       int64          `json:"build_failures"`
+	IncrementalRebuilds int64          `json:"incremental_rebuilds"`
+	FullRebuilds        int64          `json:"full_rebuilds"`
+	Advisors            []AdvisorState `json:"advisors"`
 }
 
 // State returns a point-in-time lifecycle snapshot.
 func (m *Manager) State() State {
 	out := State{
-		Watching:       m.running.Load(),
-		Paused:         m.paused.Load(),
-		Reloads:        m.reloads.Value(),
-		SnapshotHits:   m.hits.Value(),
-		SnapshotMisses: m.misses.Value(),
-		SnapshotBad:    m.corrupt.Value(),
-		BuildFailures:  m.failures.Value(),
+		Watching:            m.running.Load(),
+		Paused:              m.paused.Load(),
+		Reloads:             m.reloads.Value(),
+		SnapshotHits:        m.hits.Value(),
+		SnapshotMisses:      m.misses.Value(),
+		SnapshotBad:         m.corrupt.Value(),
+		BuildFailures:       m.failures.Value(),
+		IncrementalRebuilds: m.rebuildIncr.Value(),
+		FullRebuilds:        m.rebuildFull.Value(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, name := range m.order {
 		st := m.sources[name]
 		out.Advisors = append(out.Advisors, AdvisorState{
-			Advisor:    name,
-			Origin:     st.origin,
-			SourcePath: st.src.Path,
-			BuiltAt:    st.builtAt,
-			LastSwap:   st.lastSwap,
-			Reloads:    st.reloads,
-			LastDiff:   st.lastDiff,
-			LastError:  st.lastErr,
-			Rebuilding: st.inflight,
+			Advisor:        name,
+			Origin:         st.origin,
+			SourcePath:     st.src.Path,
+			BuiltAt:        st.builtAt,
+			LastSwap:       st.lastSwap,
+			Reloads:        st.reloads,
+			LastDiff:       st.lastDiff,
+			LastError:      st.lastErr,
+			Rebuilding:     st.inflight,
+			LastMode:       st.lastMode,
+			LastReuseRatio: st.lastReuse,
 		})
 	}
 	sort.Slice(out.Advisors, func(i, j int) bool { return out.Advisors[i].Advisor < out.Advisors[j].Advisor })

@@ -1,0 +1,119 @@
+package nlp
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/doc"
+)
+
+// AnnotationCache maps sentence identities to their annotations — the reuse
+// store behind incremental rebuilds. A kept sentence's annotation (and every
+// lazy product already materialized on it: terms, lowercased forms, SRL
+// purposes and frames) is shared by the successor build instead of being
+// recomputed; only added sentences pay the NLP cost. Safe for concurrent
+// use; annotations themselves are already concurrency-safe.
+type AnnotationCache struct {
+	mu sync.RWMutex
+	m  map[doc.SentenceID]*Annotation
+}
+
+// NewAnnotationCache creates an empty cache.
+func NewAnnotationCache() *AnnotationCache {
+	return &AnnotationCache{m: map[doc.SentenceID]*Annotation{}}
+}
+
+// Get returns the cached annotation for id, if any.
+func (c *AnnotationCache) Get(id doc.SentenceID) (*Annotation, bool) {
+	if c == nil || id == "" {
+		return nil, false
+	}
+	c.mu.RLock()
+	a, ok := c.m[id]
+	c.mu.RUnlock()
+	return a, ok
+}
+
+// Put stores an annotation under id (no-op for the empty ID).
+func (c *AnnotationCache) Put(id doc.SentenceID, a *Annotation) {
+	if c == nil || id == "" || a == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[id] = a
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached annotations.
+func (c *AnnotationCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// FromSavedTerms reconstitutes a term-only annotation from persisted state:
+// the sentence text plus the normalized retrieval terms a snapshot stored.
+// It supports exactly the products persistence kept — Text and Terms — and
+// exists so a warm-started advisor can seed an AnnotationCache without
+// re-running any NLP stage. Tree-dependent accessors (Tokens, Tags,
+// Purposes, Frames) must not be called on it; the incremental build path
+// never does for kept sentences, whose classification is reused rather than
+// recomputed.
+func FromSavedTerms(text string, terms []string) *Annotation {
+	a := &Annotation{Index: -1, Text: text}
+	a.termsOnce.Do(func() { a.terms = terms })
+	return a
+}
+
+// AnnotateAllCached is AnnotateAll with identity-keyed reuse: out[i] is the
+// cached annotation for ids[i] when present, otherwise a fresh annotation of
+// texts[i] (added to the cache). Fresh annotations are produced by the same
+// parallel fan-out as AnnotateAll, and the second return value reports how
+// many sentences were served from the cache. A nil cache degrades to
+// AnnotateAll.
+func (an *Annotator) AnnotateAllCached(ids []doc.SentenceID, texts []string, cache *AnnotationCache) ([]*Annotation, int) {
+	return an.AnnotateAllCachedCtx(context.Background(), ids, texts, cache)
+}
+
+// AnnotateAllCachedCtx is AnnotateAllCached under a trace: the fan-out over
+// the cache misses is recorded as one nlp.annotate_all span (see
+// AnnotateAllCtx), so a trace of an incremental build shows only the added
+// sentences' annotation time.
+func (an *Annotator) AnnotateAllCachedCtx(ctx context.Context, ids []doc.SentenceID, texts []string, cache *AnnotationCache) ([]*Annotation, int) {
+	n := len(texts)
+	out := make([]*Annotation, n)
+	if cache == nil {
+		return an.AnnotateAllCtx(ctx, texts), 0
+	}
+	var missIdx []int
+	for i := 0; i < n; i++ {
+		var id doc.SentenceID
+		if i < len(ids) {
+			id = ids[i]
+		}
+		if a, ok := cache.Get(id); ok {
+			out[i] = a
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) > 0 {
+		missTexts := make([]string, len(missIdx))
+		for k, i := range missIdx {
+			missTexts[k] = texts[i]
+		}
+		fresh := an.AnnotateAllCtx(ctx, missTexts)
+		for k, i := range missIdx {
+			a := fresh[k]
+			a.Index = i // position in the full document, not the miss batch
+			out[i] = a
+			if i < len(ids) {
+				cache.Put(ids[i], a)
+			}
+		}
+	}
+	return out, n - len(missIdx)
+}

@@ -1,0 +1,193 @@
+package vsm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/doc"
+)
+
+// randomTermLists generates documents over a small shared vocabulary so that
+// document frequencies, zero-IDF terms, and repeated terms all occur.
+func randomTermLists(rng *rand.Rand, n int) [][]string {
+	vocab := make([]string, 30)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("term%02d", i)
+	}
+	lists := make([][]string, n)
+	for i := range lists {
+		m := 1 + rng.Intn(12)
+		terms := make([]string, m)
+		for j := range terms {
+			terms[j] = vocab[rng.Intn(len(vocab))]
+		}
+		// "common" appears in every document → IDF 0 → zero-weight entries
+		lists[i] = append(terms, "common")
+	}
+	return lists
+}
+
+// randomEdit derives a successor document from termLists: each old document
+// is kept (possibly at a shifted position) or dropped, and new documents are
+// spliced in. Returns the successor's full term lists plus the kept pairs
+// and added docs that describe it for Rebuild.
+func randomEdit(rng *rand.Rand, termLists [][]string) ([][]string, []doc.Kept, []AddedDoc) {
+	var next [][]string
+	var kept []doc.Kept
+	var added []AddedDoc
+	addNew := func() {
+		m := 1 + rng.Intn(8)
+		terms := make([]string, m)
+		for j := range terms {
+			terms[j] = fmt.Sprintf("term%02d", rng.Intn(35)) // may extend the vocab
+		}
+		added = append(added, AddedDoc{Pos: len(next), Terms: terms})
+		next = append(next, terms)
+	}
+	for i, terms := range termLists {
+		for rng.Intn(4) == 0 {
+			addNew()
+		}
+		if rng.Intn(5) == 0 {
+			continue // removed
+		}
+		kept = append(kept, doc.Kept{Old: i, New: len(next)})
+		next = append(next, terms)
+	}
+	for rng.Intn(3) == 0 {
+		addNew()
+	}
+	return next, kept, added
+}
+
+func sameIndex(t *testing.T, got, want *Index) {
+	t.Helper()
+	if got.n != want.n {
+		t.Fatalf("n: %d vs %d", got.n, want.n)
+	}
+	if len(got.vocab) != len(want.vocab) {
+		t.Fatalf("vocab size: %d vs %d", len(got.vocab), len(want.vocab))
+	}
+	for term, id := range want.vocab {
+		if got.vocab[term] != id {
+			t.Fatalf("vocab[%q]: %d vs %d", term, got.vocab[term], id)
+		}
+	}
+	for id := range want.idf {
+		if math.Float64bits(got.idf[id]) != math.Float64bits(want.idf[id]) {
+			t.Fatalf("idf[%d]: %x vs %x", id, got.idf[id], want.idf[id])
+		}
+	}
+	for i := range want.vecs {
+		if len(got.vecs[i]) != len(want.vecs[i]) {
+			t.Fatalf("vecs[%d] len: %d vs %d", i, len(got.vecs[i]), len(want.vecs[i]))
+		}
+		for j := range want.vecs[i] {
+			g, w := got.vecs[i][j], want.vecs[i][j]
+			if g.term != w.term || math.Float64bits(g.weight) != math.Float64bits(w.weight) {
+				t.Fatalf("vecs[%d][%d]: %+v vs %+v", i, j, g, w)
+			}
+		}
+	}
+	for i := range want.docLens {
+		if got.docLens[i] != want.docLens[i] {
+			t.Fatalf("docLens[%d]: %d vs %d", i, got.docLens[i], want.docLens[i])
+		}
+	}
+	for id := range want.postings {
+		if len(got.postings[id]) != len(want.postings[id]) {
+			t.Fatalf("postings[%d] len: %d vs %d", id, len(got.postings[id]), len(want.postings[id]))
+		}
+		for j := range want.postings[id] {
+			g, w := got.postings[id][j], want.postings[id][j]
+			if g != w {
+				t.Fatalf("postings[%d][%d]: %+v vs %+v", id, j, g, w)
+			}
+		}
+	}
+}
+
+// TestRebuildBitIdentical is the incremental≡full oracle at the index layer:
+// for random corpora and random edits, Rebuild over (kept, added) must equal
+// a from-scratch BuildFromTerms of the successor's full term lists — every
+// IDF, vector weight, posting, and query score Float64bits-identical.
+func TestRebuildBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	queries := []string{
+		"term03 term17 common", "term00", "common term29 term29", "term34 term05",
+	}
+	for round := 0; round < 60; round++ {
+		termLists := randomTermLists(rng, 3+rng.Intn(40))
+		ix := BuildFromTerms(termLists)
+		next, kept, added := randomEdit(rng, termLists)
+
+		got, err := ix.Rebuild(kept, added)
+		if err != nil {
+			t.Fatalf("round %d: Rebuild: %v", round, err)
+		}
+		want := BuildFromTerms(next)
+		sameIndex(t, got, want)
+
+		for _, q := range queries {
+			gs, ws := got.QueryAll(q), want.QueryAll(q)
+			for i := range ws {
+				if math.Float64bits(gs[i]) != math.Float64bits(ws[i]) {
+					t.Fatalf("round %d: query %q doc %d: %x vs %x", round, q, i, gs[i], ws[i])
+				}
+			}
+			gb, wb := got.BM25().Scores(q), want.BM25().Scores(q)
+			for i := range wb {
+				if math.Float64bits(gb[i]) != math.Float64bits(wb[i]) {
+					t.Fatalf("round %d: bm25 %q doc %d: %x vs %x", round, q, i, gb[i], wb[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildChained checks that Rebuild composes: an index produced by
+// Rebuild can itself be rebuilt, and the chain stays bit-identical to
+// rebuilding from scratch at every step.
+func TestRebuildChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	termLists := randomTermLists(rng, 20)
+	ix := BuildFromTerms(termLists)
+	for step := 0; step < 10; step++ {
+		next, kept, added := randomEdit(rng, termLists)
+		got, err := ix.Rebuild(kept, added)
+		if err != nil {
+			t.Fatalf("step %d: Rebuild: %v", step, err)
+		}
+		sameIndex(t, got, BuildFromTerms(next))
+		ix, termLists = got, next
+	}
+}
+
+func TestRebuildValidation(t *testing.T) {
+	ix := BuildFromTerms([][]string{{"a"}, {"b"}})
+	cases := []struct {
+		name  string
+		kept  []doc.Kept
+		added []AddedDoc
+	}{
+		{"gap", []doc.Kept{{Old: 0, New: 0}}, []AddedDoc{{Pos: 2, Terms: []string{"c"}}}},
+		{"double", []doc.Kept{{Old: 0, New: 0}, {Old: 1, New: 0}}, nil},
+		{"old out of range", []doc.Kept{{Old: 5, New: 0}}, nil},
+		{"new negative", []doc.Kept{{Old: 0, New: -1}}, nil},
+		{"added collides", []doc.Kept{{Old: 0, New: 0}}, []AddedDoc{{Pos: 0, Terms: []string{"c"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := ix.Rebuild(tc.kept, tc.added); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	// a full tiling succeeds, including the empty successor
+	if _, err := ix.Rebuild(nil, nil); err != nil {
+		t.Errorf("empty successor: %v", err)
+	}
+	if _, err := ix.Rebuild([]doc.Kept{{Old: 1, New: 0}}, []AddedDoc{{Pos: 1, Terms: []string{"c"}}}); err != nil {
+		t.Errorf("valid tiling: %v", err)
+	}
+}

@@ -13,12 +13,14 @@ package vsm
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/doc"
 	"repro/internal/obs"
 	"repro/internal/textproc"
 )
@@ -50,10 +52,11 @@ type posting struct {
 type Index struct {
 	vocab    map[string]int
 	idf      []float64
-	vecs     [][]entry   // L2-normalized sparse vectors, sorted by term id
-	postings [][]posting // per term id, ascending doc order
-	docLens  []int32     // normalized term count per sentence (BM25 length norm)
-	n        int         // number of sentences
+	vecs     [][]entry     // L2-normalized sparse vectors, sorted by term id
+	postings [][]posting   // per term id, ascending doc order
+	docLens  []int32       // normalized term count per sentence (BM25 length norm)
+	counted  []*termCounts // per-document term statistics, reused by Rebuild
+	n        int           // number of sentences
 
 	bm25Once sync.Once // lazily-built BM25 view over the same postings
 	bm25     *BM25
@@ -103,19 +106,59 @@ func BuildFromTokens(tokenLists [][]string) *Index {
 // *set* alone: permuting the document order yields bit-identical cosine
 // scores — the metamorphic property the Stage-II test suite checks.
 func BuildFromTerms(termLists [][]string) *Index {
-	ix := &Index{
-		vocab: make(map[string]int),
-		n:     len(termLists),
+	counted := make([]*termCounts, len(termLists))
+	for i, terms := range termLists {
+		counted[i] = countTerms(terms)
 	}
-	// document frequencies, keyed by term string
+	return buildFromCounted(counted)
+}
+
+// termCounts is one document's corpus-independent term statistics: its
+// unique terms in sorted order with their raw frequencies, plus the total
+// term count (the BM25 length norm). Immutable after countTerms, so Rebuild
+// shares it between an index and its successor for kept sentences.
+type termCounts struct {
+	terms  []string  // unique terms, sorted
+	counts []float64 // raw frequency, aligned with terms
+	total  int32     // total term occurrences including duplicates
+}
+
+// countTerms tallies a term list into its counted form.
+func countTerms(terms []string) *termCounts {
+	tf := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		tf[t]++
+	}
+	tc := &termCounts{
+		terms:  make([]string, 0, len(tf)),
+		counts: make([]float64, 0, len(tf)),
+		total:  int32(len(terms)),
+	}
+	for t := range tf {
+		tc.terms = append(tc.terms, t)
+	}
+	sort.Strings(tc.terms)
+	for _, t := range tc.terms {
+		tc.counts = append(tc.counts, tf[t])
+	}
+	return tc
+}
+
+// buildFromCounted assembles an index from per-document counted vectors —
+// the shared back half of BuildFromTerms and Rebuild. Everything global is
+// computed here (document frequencies, IDF, weights, postings); everything
+// per-document arrives precomputed in counted.
+func buildFromCounted(counted []*termCounts) *Index {
+	ix := &Index{
+		vocab:   make(map[string]int),
+		counted: counted,
+		n:       len(counted),
+	}
+	// document frequencies: counted terms are unique per document already
 	dfByTerm := map[string]int{}
-	for _, terms := range termLists {
-		seen := map[string]bool{}
-		for _, t := range terms {
-			if !seen[t] {
-				dfByTerm[t]++
-				seen[t] = true
-			}
+	for _, tc := range counted {
+		for _, t := range tc.terms {
+			dfByTerm[t]++
 		}
 	}
 	vocab := make([]string, 0, len(dfByTerm))
@@ -131,9 +174,9 @@ func BuildFromTerms(termLists [][]string) *Index {
 	ix.vecs = make([][]entry, ix.n)
 	ix.docLens = make([]int32, ix.n)
 	full := make([][]docEntry, ix.n)
-	for i, terms := range termLists {
-		ix.docLens[i] = int32(len(terms))
-		full[i] = ix.vectorizeDoc(terms)
+	for i, tc := range counted {
+		ix.docLens[i] = tc.total
+		full[i] = ix.vectorizeCounted(tc)
 		vec := make([]entry, 0, len(full[i]))
 		for _, e := range full[i] {
 			if e.weight != 0 {
@@ -155,23 +198,19 @@ type docEntry struct {
 	weight float64
 }
 
-// vectorizeDoc converts a document's term list into the full sorted entry
-// list, keeping zero-weight (zero-IDF) terms so the postings retain their
-// raw frequencies for the BM25 backend. The nonzero weights are
-// bit-identical to vectorize's: the zero entries contribute exactly 0.0 to
-// the norm accumulation, which never changes a non-negative partial sum.
-func (ix *Index) vectorizeDoc(terms []string) []docEntry {
-	tf := map[int]float64{}
-	for _, t := range terms {
-		if id, ok := ix.vocab[t]; ok {
-			tf[id]++
-		}
-	}
-	vec := make([]docEntry, 0, len(tf))
-	for id, f := range tf {
+// vectorizeCounted converts a counted document into the full entry list,
+// keeping zero-weight (zero-IDF) terms so the postings retain their raw
+// frequencies for the BM25 backend. The counted terms are sorted and vocab
+// ids are assigned in sorted-term order, so the entries arrive in ascending
+// term-id order without re-sorting, and the norm accumulates over the same
+// weights in the same order as it always has — weights stay bit-identical.
+func (ix *Index) vectorizeCounted(tc *termCounts) []docEntry {
+	vec := make([]docEntry, 0, len(tc.terms))
+	for i, t := range tc.terms {
+		id := ix.vocab[t] // during a build every document term is in vocab
+		f := tc.counts[i]
 		vec = append(vec, docEntry{term: id, tf: float32(f), weight: f * ix.idf[id]})
 	}
-	sort.Slice(vec, func(a, b int) bool { return vec[a].term < vec[b].term })
 	var norm float64
 	for i := range vec {
 		norm += vec[i].weight * vec[i].weight
@@ -183,6 +222,56 @@ func (ix *Index) vectorizeDoc(terms []string) []docEntry {
 		}
 	}
 	return vec
+}
+
+// AddedDoc is one new sentence handed to Rebuild: its position in the
+// successor document and its normalized term list.
+type AddedDoc struct {
+	Pos   int
+	Terms []string
+}
+
+// Rebuild constructs the successor index after a document edit: kept pairs
+// map this index's sentences (Old position) to their new positions, reusing
+// their per-document term statistics verbatim; added carries the term lists
+// of new sentences at their new positions. Together they must tile the
+// successor document exactly — every position in [0, kept+added) assigned
+// once.
+//
+// Global statistics — document frequencies, IDF, and therefore every TF-IDF
+// weight and posting — are recomputed from the merged set: IDF is
+// corpus-wide, so one edit can shift every weight in the index. What Rebuild
+// skips is the work that does not depend on the rest of the corpus: term
+// counting here, and tokenization, stemming, and annotation upstream. The
+// result is Float64bits-identical to a from-scratch BuildFromTerms over the
+// successor's full term lists (see TestRebuildBitIdentical).
+func (ix *Index) Rebuild(kept []doc.Kept, added []AddedDoc) (*Index, error) {
+	n := len(kept) + len(added)
+	counted := make([]*termCounts, n)
+	place := func(pos int, tc *termCounts) error {
+		if pos < 0 || pos >= n {
+			return fmt.Errorf("vsm: rebuild position %d outside [0,%d)", pos, n)
+		}
+		if counted[pos] != nil {
+			return fmt.Errorf("vsm: rebuild position %d assigned twice", pos)
+		}
+		counted[pos] = tc
+		return nil
+	}
+	for _, k := range kept {
+		if k.Old < 0 || k.Old >= len(ix.counted) {
+			return nil, fmt.Errorf("vsm: rebuild kept old position %d outside [0,%d)", k.Old, len(ix.counted))
+		}
+		if err := place(k.New, ix.counted[k.Old]); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range added {
+		if err := place(a.Pos, countTerms(a.Terms)); err != nil {
+			return nil, err
+		}
+	}
+	return buildFromCounted(counted), nil
 }
 
 // buildPostings derives the shared inverted index from the full document
