@@ -1,12 +1,13 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check vet fmt build test race fuzz bench bench-all benchrot cover serve
+.PHONY: check vet fmt build test race fuzz chaos bench bench-all benchrot cover serve
 
-check: ## vet + gofmt + build + race-enabled tests + fuzz smoke (the tier-1 gate)
+check: ## vet + gofmt + build + race-enabled tests + fuzz smoke + chaos smoke (the tier-1 gate)
 	go vet ./...
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
 	go build ./...
 	go test -race ./...
 	$(MAKE) fuzz
+	$(MAKE) chaos
 
 vet:
 	go vet ./...
@@ -22,6 +23,14 @@ fuzz: ## run every fuzz target for $(FUZZTIME) (default 10s each)
 	go test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/depparse
 	go test -run '^$$' -fuzz FuzzQuery -fuzztime $(FUZZTIME) ./internal/service
 	go test -run '^$$' -fuzz FuzzLoadAdvisor -fuzztime $(FUZZTIME) ./internal/core
+
+# The deterministic chaos/soak suite (DESIGN.md §12): every fault point armed,
+# concurrent traffic under -race, recovery compared byte-for-byte against a
+# fault-free control. -chaos.short keeps the smoke run fast; drop the flag
+# for the full-volume soak.
+CHAOS_FLAGS ?= -chaos.short
+chaos: ## chaos suite under -race (short volume by default; CHAOS_FLAGS= for full)
+	go test -race -count=1 -run 'TestServeChaosSoak' ./cmd/egeria $(CHAOS_FLAGS)
 
 build:
 	go build ./...
@@ -48,7 +57,7 @@ benchrot: ## bench-rot gate: compile and run every benchmark once (1 iteration)
 # the gate was introduced; raise it when coverage durably improves, never
 # lower it to make a PR pass. `make cover` writes coverage.out (the raw
 # profile) and coverage.txt (the per-package table CI uploads).
-COVER_BASELINE = 84.7
+COVER_BASELINE = 87.5
 cover: ## per-package coverage table + total; fails below COVER_BASELINE
 	go test -count=1 -coverprofile=coverage.out ./internal/... ./cmd/...
 	go run ./tools/coverreport -profile coverage.out -baseline $(COVER_BASELINE) | tee coverage.txt

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The smoke tests stick to the cheap tables (3 and 7 need no advisor build)
+// so `go test ./...` stays fast; the expensive tables share the same run()
+// plumbing and are exercised by the experiments package's own tests.
+
+func TestRunTable7(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, wantSub := range []string{"Table 7", "CUDA Guide", "OpenCL Guide", "Xeon Guide", "Ratio"} {
+		if !strings.Contains(got, wantSub) {
+			t.Errorf("table 7 output missing %q:\n%s", wantSub, got)
+		}
+	}
+	if strings.Contains(got, "Fleiss") {
+		t.Error("single-table run printed the kappa summary")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 3") || !strings.Contains(out.String(), "norm.cu") {
+		t.Errorf("table 3 output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownTable(t *testing.T) {
+	for _, bad := range []string{"1", "2", "9", "-4"} {
+		var out strings.Builder
+		err := run([]string{"-table", bad}, &out)
+		if !errors.Is(err, errUsage) {
+			t.Errorf("-table %s: err = %v, want errUsage", bad, err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("-table %s: printed output despite usage error", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); !errors.Is(err, errUsage) {
+		t.Errorf("bad flag: err = %v, want errUsage", err)
+	}
+}

@@ -16,7 +16,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/corpus"
@@ -27,12 +29,21 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("egeria-tune: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	corpusReg := flag.String("corpus", "xeon", "synthetic guide to tune against: cuda, opencl, xeon")
-	seed := flag.Int64("seed", 1, "corpus generation seed")
-	max := flag.Int("max", 5, "maximum keywords to accept")
-	verbose := flag.Bool("v", false, "print the resulting keyword sets")
-	flag.Parse()
+// run is the testable body of the command: flags in, tuning report out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("egeria-tune", flag.ContinueOnError)
+	corpusReg := fs.String("corpus", "xeon", "synthetic guide to tune against: cuda, opencl, xeon")
+	seed := fs.Int64("seed", 1, "corpus generation seed")
+	max := fs.Int("max", 5, "maximum keywords to accept")
+	verbose := fs.Bool("v", false, "print the resulting keyword sets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var reg corpus.Register
 	switch strings.ToLower(*corpusReg) {
@@ -43,7 +54,7 @@ func main() {
 	case "xeon", "xeonphi":
 		reg = corpus.XeonPhi
 	default:
-		log.Fatalf("unknown corpus %q", *corpusReg)
+		return fmt.Errorf("unknown corpus %q", *corpusReg)
 	}
 
 	g := corpus.Generate(reg, *seed)
@@ -53,24 +64,25 @@ func main() {
 		truth[i] = l.Advising
 	}
 
-	fmt.Printf("Tuning the default configuration against the %s guide's %d labeled sentences...\n\n",
+	fmt.Fprintf(out, "Tuning the default configuration against the %s guide's %d labeled sentences...\n\n",
 		reg, len(texts))
 	res, err := tuning.Tune(selectors.DefaultConfig(), texts, truth, tuning.Options{MaxSuggestions: *max})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(tuning.FormatResult(res))
+	fmt.Fprint(out, tuning.FormatResult(res))
 
 	if *verbose {
-		fmt.Println("\nExtended keyword sets:")
+		fmt.Fprintln(out, "\nExtended keyword sets:")
 		base := selectors.DefaultConfig()
 		printAdded := func(name string, before, after []string) {
 			if len(after) > len(before) {
-				fmt.Printf("  %s: +%v\n", name, after[len(before):])
+				fmt.Fprintf(out, "  %s: +%v\n", name, after[len(before):])
 			}
 		}
 		printAdded("FLAGGING WORDS", base.FlaggingWords, res.Config.FlaggingWords)
 		printAdded("KEY SUBJECTS", base.KeySubjects, res.Config.KeySubjects)
 		printAdded("IMPERATIVE WORDS", base.ImperativeWords, res.Config.ImperativeWords)
 	}
+	return nil
 }

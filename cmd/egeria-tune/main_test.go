@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTuneXeon(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-corpus", "xeon", "-max", "1", "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Tuning the default configuration against the Xeon") {
+		t.Errorf("missing header:\n%.300s", got)
+	}
+	// the tuning report always states the baseline and tuned F-measure
+	if !strings.Contains(got, "F") {
+		t.Errorf("no F-measure in report:\n%.300s", got)
+	}
+}
+
+func TestRunTuneCorpusAliases(t *testing.T) {
+	// xeonphi is an accepted alias; the run must behave like xeon
+	var out strings.Builder
+	if err := run([]string{"-corpus", "XeonPhi", "-max", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Xeon") {
+		t.Errorf("alias output:\n%.200s", out.String())
+	}
+}
+
+func TestRunTuneRejectsUnknownCorpus(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-corpus", "fortran"}, &out); err == nil || !strings.Contains(err.Error(), "fortran") {
+		t.Errorf("unknown corpus: err = %v", err)
+	}
+}
+
+func TestRunTuneRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/doc"
+	"repro/internal/fault"
 	"repro/internal/htmldoc"
 	"repro/internal/lifecycle"
 	"repro/internal/nvvp"
@@ -84,6 +85,13 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "max queries accepted per POST /v1/batch request")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request deadline")
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests whose span trees are recorded for /tracez (0 = off, 1 = every request)")
+
+		// resilience flags (serve subcommand). -fault is a development/chaos
+		// knob, off by default; production pays one nil check per fault point.
+		faultSpec = flag.String("fault", "", "fault-injection spec for chaos testing, e.g. 'all:err=0.1' or 'store.write:err=0.2;partial=0.3,vsm.score:lat=5ms@0.5' (dev only; empty = off)")
+		faultSeed = flag.Int64("fault-seed", 1, "PRNG seed for -fault draws (fixed seed = reproducible fault sequence)")
+		brkThresh = flag.Int("breaker-threshold", service.DefaultBreakerThreshold, "consecutive failures that open an advisor's circuit breaker")
+		brkCool   = flag.Duration("breaker-cooldown", service.DefaultBreakerCooldown, "how long an open breaker waits before probing the advisor again")
 
 		// corpus lifecycle flags (serve subcommand; -incremental-threshold
 		// also sets the mode the diff subcommand predicts)
@@ -173,6 +181,10 @@ func main() {
 			maxBatch:        *maxBatch,
 			timeout:         *timeout,
 			traceSample:     *traceSample,
+			faultSpec:       *faultSpec,
+			faultSeed:       *faultSeed,
+			brkThreshold:    *brkThresh,
+			brkCooldown:     *brkCool,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -444,9 +456,23 @@ type serveConfig struct {
 	traceSample     float64       // fraction of requests with recorded span trees
 	metrics         *obs.Registry // nil: the process-wide default registry
 
+	// fault injection (dev/chaos only): faultSpec is the -fault grammar
+	// parsed at startup with faultSeed; faults overrides it with a
+	// pre-built injector — the hook chaos tests use to flip rules mid-run.
+	faultSpec    string
+	faultSeed    int64
+	faults       *fault.Injector
+	brkThreshold int           // circuit-breaker trip threshold (0: default)
+	brkCooldown  time.Duration // circuit-breaker probe cooldown (0: default)
+
 	// sources overrides the flag-derived lifecycle sources — the hook tests
 	// use to serve small fixture advisors.
 	sources []lifecycle.Source
+	// retries/backoff override the lifecycle retry policy (0: defaults) —
+	// chaos tests shrink the backoff so fault storms resolve in
+	// milliseconds instead of seconds.
+	retries int
+	backoff time.Duration
 }
 
 // corpusSource describes one built-in guide as a lifecycle source. Its
@@ -547,12 +573,27 @@ func buildServeHandler(fw *core.Framework, cfg serveConfig, logger *slog.Logger)
 			return nil, nil, nil, err
 		}
 	}
+	// fault injection wires through every layer from one injector, so a
+	// single -fault spec covers store I/O, lifecycle rebuilds, and the
+	// serving path; nil (the default) compiles to one nil check per point
+	injector := cfg.faults
+	if injector == nil && cfg.faultSpec != "" {
+		var err error
+		if injector, err = fault.Parse(cfg.faultSpec, cfg.faultSeed); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if injector.Active() {
+		logger.Warn("fault injection ENABLED — not for production", "spec", injector.String(), "seed", cfg.faultSeed)
+	}
+
 	var snapStore *store.Store
 	if cfg.snapshotDir != "" {
 		var err error
 		if snapStore, err = store.Open(cfg.snapshotDir); err != nil {
 			return nil, nil, nil, err
 		}
+		snapStore.SetFaults(injector)
 	}
 
 	registry := service.NewRegistry()
@@ -560,8 +601,11 @@ func buildServeHandler(fw *core.Framework, cfg serveConfig, logger *slog.Logger)
 		Store:                snapStore,
 		Register:             registry.Add,
 		Interval:             cfg.rebuildInterval,
+		Retries:              cfg.retries,
+		Backoff:              cfg.backoff,
 		Logger:               logger,
 		Metrics:              cfg.metrics,
+		Fault:                injector,
 		IncrementalThreshold: cfg.incrThreshold,
 	})
 	for _, src := range sources {
@@ -585,13 +629,16 @@ func buildServeHandler(fw *core.Framework, cfg serveConfig, logger *slog.Logger)
 
 	tracer := obs.NewTracer(cfg.traceSample, obs.NewTraceStore(obs.DefaultTraceCapacity))
 	svc := service.New(registry, service.Options{
-		CacheSize:   cfg.cacheSize,
-		MaxInFlight: cfg.maxInflight,
-		MaxBatch:    cfg.maxBatch,
-		Timeout:     cfg.timeout,
-		Logger:      logger,
-		Tracer:      tracer,
-		Metrics:     cfg.metrics,
+		CacheSize:        cfg.cacheSize,
+		MaxInFlight:      cfg.maxInflight,
+		MaxBatch:         cfg.maxBatch,
+		Timeout:          cfg.timeout,
+		Logger:           logger,
+		Tracer:           tracer,
+		Metrics:          cfg.metrics,
+		Fault:            injector,
+		BreakerThreshold: cfg.brkThreshold,
+		BreakerCooldown:  cfg.brkCooldown,
 	})
 	// rebuilds now swap through the service (Replace + cache invalidation),
 	// and the admin/stats surface gains the lifecycle view

@@ -1,0 +1,245 @@
+// Package chaos is the deterministic chaos/soak harness: it drives
+// concurrent query, batch, ask, reload, and stats traffic against a running
+// Egeria server and validates every response against the service's error
+// contract — well-formed JSON, a trace ID on every failure, and only
+// expected status codes per endpoint.
+//
+// The harness is traffic only; faults are injected server-side (see
+// internal/fault and the serve -fault flag). Keeping the two decoupled
+// means the same traffic mix can run against a fault-free control server to
+// establish the expected answers, then against the chaos server, and the
+// recovered answers can be compared byte-for-byte.
+//
+// Determinism: each worker draws its operation sequence from its own seeded
+// PRNG (Config.Seed + worker index), so a failing run replays with the same
+// request mix. Server-side fault draws are ordered by goroutine scheduling
+// and are deterministic per seed only in aggregate — which is exactly what
+// the suite asserts (counts and invariants, never per-request outcomes).
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// maxAnomalies bounds how many anomaly strings a Result keeps; the count
+// keeps climbing so a flood is still visible.
+const maxAnomalies = 20
+
+// Config describes one chaos run.
+type Config struct {
+	// BaseURL is the server under test (no trailing slash).
+	BaseURL string
+	// Client is the HTTP client to use (default http.DefaultClient).
+	Client *http.Client
+	// Advisors are the registry names traffic targets; at least one.
+	Advisors []string
+	// Queries is the question pool workers draw from; at least one.
+	Queries []string
+	// Workers is the number of concurrent traffic generators (default 4).
+	Workers int
+	// Requests is how many operations each worker issues (default 50).
+	Requests int
+	// Seed derives each worker's PRNG (worker i uses Seed+i).
+	Seed int64
+	// Reload includes POST /v1/admin/reload in the mix (needs a lifecycle
+	// manager server-side; 409s from colliding reloads are expected).
+	Reload bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 50
+	}
+	return c
+}
+
+// Result aggregates a run. Anomalies are contract violations — an anomalous
+// run is a failed run regardless of status-code distribution.
+type Result struct {
+	mu        sync.Mutex
+	Requests  int64
+	ByKind    map[string]int64 // operation -> count
+	ByStatus  map[int]int64    // HTTP status -> count
+	AnomalyN  int64            // total contract violations
+	Anomalies []string         // first maxAnomalies violation descriptions
+}
+
+func (r *Result) count(kind string, status int) {
+	r.mu.Lock()
+	r.Requests++
+	r.ByKind[kind]++
+	r.ByStatus[status]++
+	r.mu.Unlock()
+}
+
+func (r *Result) anomaly(format string, args ...any) {
+	r.mu.Lock()
+	r.AnomalyN++
+	if len(r.Anomalies) < maxAnomalies {
+		r.Anomalies = append(r.Anomalies, fmt.Sprintf(format, args...))
+	}
+	r.mu.Unlock()
+}
+
+// Errors5xx returns how many responses were server errors — under fault
+// injection these are expected; the suite asserts they are well-formed, not
+// absent.
+func (r *Result) Errors5xx() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for status, c := range r.ByStatus {
+		if status >= 500 {
+			n += c
+		}
+	}
+	return n
+}
+
+// Statuses returns a copy of the status histogram.
+func (r *Result) Statuses() map[int]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]int64, len(r.ByStatus))
+	for k, v := range r.ByStatus {
+		out[k] = v
+	}
+	return out
+}
+
+// expected status sets per operation: anything else is a contract anomaly.
+var expectedStatus = map[string]map[int]bool{
+	"query":  {200: true, 400: true, 404: true, 429: true, 500: true, 503: true},
+	"ask":    {200: true, 400: true, 429: true, 500: true, 503: true},
+	"batch":  {200: true, 400: true, 413: true, 429: true, 500: true, 503: true},
+	"reload": {200: true, 404: true, 409: true, 429: true, 500: true, 501: true, 503: true},
+	"statsz": {200: true, 500: true},
+}
+
+// Run drives the configured traffic mix and returns the aggregate result.
+// It never fails fast: the point of a chaos run is to keep the pressure on
+// and report every contract violation at the end.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{ByKind: map[string]int64{}, ByStatus: map[int]int64{}}
+	if len(cfg.Advisors) == 0 || len(cfg.Queries) == 0 {
+		res.anomaly("config: need at least one advisor and one query")
+		return res
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for i := 0; i < cfg.Requests; i++ {
+				step(cfg, rng, res)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return res
+}
+
+// step issues one operation drawn from the weighted mix:
+// 5/10 query, 2/10 ask, 1/10 batch, 1/10 reload (query when disabled),
+// 1/10 statsz.
+func step(cfg Config, rng *rand.Rand, res *Result) {
+	advisor := cfg.Advisors[rng.Intn(len(cfg.Advisors))]
+	q := cfg.Queries[rng.Intn(len(cfg.Queries))]
+	switch d := rng.Intn(10); {
+	case d < 5:
+		doGet(cfg, res, "query",
+			fmt.Sprintf("%s/v1/%s/query?q=%s", cfg.BaseURL, advisor, url.QueryEscape(q)))
+	case d < 7:
+		doGet(cfg, res, "ask",
+			fmt.Sprintf("%s/v1/ask?q=%s&k=3", cfg.BaseURL, url.QueryEscape(q)))
+	case d < 8:
+		items := make([]map[string]string, 1+rng.Intn(4))
+		for j := range items {
+			items[j] = map[string]string{
+				"advisor": cfg.Advisors[rng.Intn(len(cfg.Advisors))],
+				"query":   cfg.Queries[rng.Intn(len(cfg.Queries))],
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"queries": items})
+		doPost(cfg, res, "batch", cfg.BaseURL+"/v1/batch", body)
+	case d < 9:
+		if cfg.Reload {
+			doPost(cfg, res, "reload", cfg.BaseURL+"/v1/admin/reload?advisor="+url.QueryEscape(advisor), nil)
+		} else {
+			doGet(cfg, res, "query",
+				fmt.Sprintf("%s/v1/%s/query?q=%s", cfg.BaseURL, advisor, url.QueryEscape(q)))
+		}
+	default:
+		doGet(cfg, res, "statsz", cfg.BaseURL+"/statsz")
+	}
+}
+
+func doGet(cfg Config, res *Result, kind, url string) {
+	resp, err := cfg.Client.Get(url)
+	finish(res, kind, url, resp, err)
+}
+
+func doPost(cfg Config, res *Result, kind, url string, body []byte) {
+	resp, err := cfg.Client.Post(url, "application/json", bytes.NewReader(body))
+	finish(res, kind, url, resp, err)
+}
+
+// finish validates one response against the service contract and records it.
+func finish(res *Result, kind, url string, resp *http.Response, err error) {
+	if err != nil {
+		// a transport error is a torn response: the server broke the
+		// connection (panic, crash) instead of answering — always anomalous
+		res.count(kind, 0)
+		res.anomaly("%s %s: transport error: %v", kind, url, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	res.count(kind, resp.StatusCode)
+	if rerr != nil {
+		res.anomaly("%s %s: truncated body after status %d: %v", kind, url, resp.StatusCode, rerr)
+		return
+	}
+	if !expectedStatus[kind][resp.StatusCode] {
+		res.anomaly("%s %s: unexpected status %d (body %.120q)", kind, url, resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		res.anomaly("%s %s: response missing X-Trace-Id header", kind, url)
+	}
+	ct := resp.Header.Get("Content-Type")
+	if !strings.Contains(ct, "application/json") {
+		res.anomaly("%s %s: content type %q, want JSON", kind, url, ct)
+		return
+	}
+	var decoded map[string]any
+	if jerr := json.Unmarshal(body, &decoded); jerr != nil {
+		res.anomaly("%s %s: status %d body is not valid JSON: %v (%.120q)", kind, url, resp.StatusCode, jerr, body)
+		return
+	}
+	if resp.StatusCode >= 400 {
+		msg, _ := decoded["error"].(string)
+		if msg == "" {
+			res.anomaly("%s %s: status %d error body without error field (%.120q)", kind, url, resp.StatusCode, body)
+		}
+		tid, _ := decoded["trace_id"].(string)
+		if tid == "" {
+			res.anomaly("%s %s: status %d error body without trace_id (%.120q)", kind, url, resp.StatusCode, body)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// contractServer is a minimal fake that honors the service contract: JSON
+// everywhere, X-Trace-Id on every response, error bodies with error and
+// trace_id fields. Behavior is switchable per test.
+func contractServer(behave func(w http.ResponseWriter, r *http.Request) bool) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Trace-Id", "t-123")
+		if behave != nil && behave(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/query"):
+			fmt.Fprint(w, `{"advisor":"cuda","count":1,"answers":[{"text":"use shared memory"}]}`)
+		case r.URL.Path == "/v1/ask":
+			fmt.Fprint(w, `{"query":"q","k":3,"count":0,"answers":[]}`)
+		case r.URL.Path == "/v1/batch":
+			fmt.Fprint(w, `{"count":1,"errors":0,"results":[]}`)
+		case r.URL.Path == "/v1/admin/reload":
+			fmt.Fprint(w, `{"advisor":"cuda","duration_micros":1,"state":{}}`)
+		case r.URL.Path == "/statsz":
+			fmt.Fprint(w, `{"requests":1}`)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"no route","trace_id":"t-123"}`)
+		}
+	}))
+}
+
+func baseConfig(url string) Config {
+	return Config{
+		BaseURL:  url,
+		Advisors: []string{"cuda"},
+		Queries:  []string{"memory coalescing", "bank conflicts"},
+		Workers:  2,
+		Requests: 40,
+		Seed:     7,
+		Reload:   true,
+	}
+}
+
+func TestRunCleanServerNoAnomalies(t *testing.T) {
+	ts := contractServer(nil)
+	defer ts.Close()
+	res := Run(baseConfig(ts.URL))
+	if res.AnomalyN != 0 {
+		t.Fatalf("clean server produced anomalies: %v", res.Anomalies)
+	}
+	if res.Requests != 80 {
+		t.Fatalf("requests = %d, want 80", res.Requests)
+	}
+	if res.ByStatus[200] != 80 {
+		t.Fatalf("status histogram %v", res.Statuses())
+	}
+	// the weighted mix exercises every operation at this volume
+	for _, kind := range []string{"query", "ask", "batch", "reload", "statsz"} {
+		if res.ByKind[kind] == 0 {
+			t.Errorf("operation %s never issued (mix %v)", kind, res.ByKind)
+		}
+	}
+}
+
+func TestRunDeterministicMix(t *testing.T) {
+	ts := contractServer(nil)
+	defer ts.Close()
+	a := Run(baseConfig(ts.URL))
+	b := Run(baseConfig(ts.URL))
+	for kind, n := range a.ByKind {
+		if b.ByKind[kind] != n {
+			t.Fatalf("mix not deterministic: %v vs %v", a.ByKind, b.ByKind)
+		}
+	}
+}
+
+func TestRunWellFormedErrorsAreNotAnomalies(t *testing.T) {
+	// a 500 with a proper JSON error body and trace ID is an expected
+	// fault-injection outcome, not a contract violation
+	ts := contractServer(func(w http.ResponseWriter, r *http.Request) bool {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"fault: injected error at service.handler","trace_id":"t-123"}`)
+		return true
+	})
+	defer ts.Close()
+	res := Run(baseConfig(ts.URL))
+	if res.AnomalyN != 0 {
+		t.Fatalf("well-formed 500s flagged: %v", res.Anomalies)
+	}
+	if res.Errors5xx() != res.Requests {
+		t.Fatalf("Errors5xx = %d, want %d", res.Errors5xx(), res.Requests)
+	}
+}
+
+func TestRunFlagsContractViolations(t *testing.T) {
+	tests := []struct {
+		name   string
+		behave func(w http.ResponseWriter, r *http.Request) bool
+		want   string
+	}{
+		{"html error page", func(w http.ResponseWriter, r *http.Request) bool {
+			w.Header().Set("Content-Type", "text/html")
+			w.WriteHeader(500)
+			fmt.Fprint(w, "<html>oops</html>")
+			return true
+		}, "content type"},
+		{"truncated json", func(w http.ResponseWriter, r *http.Request) bool {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"count": 1, "answ`)
+			return true
+		}, "not valid JSON"},
+		{"error without trace id", func(w http.ResponseWriter, r *http.Request) bool {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(500)
+			fmt.Fprint(w, `{"error":"boom"}`)
+			return true
+		}, "without trace_id"},
+		{"unexpected status", func(w http.ResponseWriter, r *http.Request) bool {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTeapot)
+			fmt.Fprint(w, `{"error":"teapot","trace_id":"t"}`)
+			return true
+		}, "unexpected status 418"},
+		{"missing trace header", func(w http.ResponseWriter, r *http.Request) bool {
+			w.Header().Del("X-Trace-Id")
+			return false
+		}, "missing X-Trace-Id"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ts := contractServer(tt.behave)
+			defer ts.Close()
+			cfg := baseConfig(ts.URL)
+			cfg.Workers, cfg.Requests = 1, 5
+			res := Run(cfg)
+			if res.AnomalyN == 0 {
+				t.Fatalf("violation not flagged")
+			}
+			found := false
+			for _, a := range res.Anomalies {
+				if strings.Contains(a, tt.want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("anomalies %v do not mention %q", res.Anomalies, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunTransportErrorIsAnomalous(t *testing.T) {
+	ts := contractServer(nil)
+	ts.Close() // server gone: every request is a transport error
+	cfg := baseConfig(ts.URL)
+	cfg.Workers, cfg.Requests = 1, 3
+	res := Run(cfg)
+	if res.AnomalyN != 3 {
+		t.Fatalf("dead server anomalies = %d, want 3 (%v)", res.AnomalyN, res.Anomalies)
+	}
+}
+
+func TestRunEmptyConfigIsAnomalous(t *testing.T) {
+	res := Run(Config{BaseURL: "http://127.0.0.1:1"})
+	if res.AnomalyN == 0 {
+		t.Fatal("empty advisor/query pools accepted")
+	}
+}
+
+func TestAnomalyListIsBounded(t *testing.T) {
+	res := &Result{ByKind: map[string]int64{}, ByStatus: map[int]int64{}}
+	for i := 0; i < 100; i++ {
+		res.anomaly("a%d", i)
+	}
+	if len(res.Anomalies) != maxAnomalies || res.AnomalyN != 100 {
+		t.Fatalf("kept %d listed / %d counted", len(res.Anomalies), res.AnomalyN)
+	}
+}

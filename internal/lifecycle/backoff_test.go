@@ -1,0 +1,38 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitteredBackoffBoundsAndDeterminism(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 0; attempt < 4; attempt++ {
+		d1 := jitteredBackoff(base, attempt, "cuda")
+		d2 := jitteredBackoff(base, attempt, "cuda")
+		if d1 != d2 {
+			t.Fatalf("attempt %d not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		nominal := base << attempt
+		lo, hi := nominal*3/4, nominal*5/4
+		if d1 < lo || d1 > hi {
+			t.Fatalf("attempt %d backoff %v outside ±25%% of %v", attempt, d1, nominal)
+		}
+	}
+	// different advisors de-synchronize
+	if jitteredBackoff(base, 0, "cuda") == jitteredBackoff(base, 0, "openmp") {
+		t.Log("two advisors drew identical jitter (possible but suspicious)")
+	}
+}
+
+// TestSnapshotSleeperIsHookable pins the test seam: the retry sleeper is a
+// swappable field, so package tests can count sleeps instead of waiting.
+func TestSnapshotSleeperIsHookable(t *testing.T) {
+	m := New(Options{})
+	var slept []time.Duration
+	m.sleep = func(d time.Duration) { slept = append(slept, d) }
+	m.sleep(5 * time.Millisecond)
+	if len(slept) != 1 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("sleep hook not wired: %v", slept)
+	}
+}

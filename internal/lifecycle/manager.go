@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"sort"
@@ -34,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/doc"
+	"repro/internal/fault"
 	"repro/internal/htmldoc"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -103,6 +105,10 @@ type Options struct {
 	// Metrics is the registry for the lifecycle_* counters and histograms
 	// (default obs.Default()).
 	Metrics *obs.Registry
+	// Fault is the fault-injection layer for the lifecycle.rebuild point;
+	// nil (the production default) costs one nil check per rebuild attempt.
+	// Store-level faults are wired into the Store itself via SetFaults.
+	Fault *fault.Injector
 	// IncrementalThreshold is the change-ratio ceiling for differential
 	// rebuilds: when a changed source's sentence diff against the serving
 	// advisor has ChangeRatio <= threshold, the rebuild reuses the previous
@@ -174,7 +180,9 @@ type Manager struct {
 	swap    func(name string, next *core.Advisor) core.RulesDiff
 	paused  atomic.Bool
 	running atomic.Bool
-	slots   chan struct{} // bounded build pool
+	slots   chan struct{}       // bounded build pool
+	flt     *fault.Injector     // nil unless fault injection is enabled
+	sleep   func(time.Duration) // retry sleeper; replaced in tests
 
 	reloads     *obs.Counter
 	hits        *obs.Counter
@@ -183,6 +191,7 @@ type Manager struct {
 	failures    *obs.Counter
 	rebuildIncr *obs.Counter // lifecycle_rebuild_total{mode="incremental"}
 	rebuildFull *obs.Counter // lifecycle_rebuild_total{mode="full"}
+	storeRetry  *obs.Counter // lifecycle_store_retries_total
 	swapHist    *obs.Histogram
 	buildHist   *obs.Histogram
 	loadHist    *obs.Histogram
@@ -197,6 +206,8 @@ func New(opts Options) *Manager {
 		sources:     map[string]*sourceState{},
 		swap:        opts.Swap,
 		slots:       make(chan struct{}, opts.Workers),
+		flt:         opts.Fault,
+		sleep:       time.Sleep,
 		reloads:     opts.Metrics.Counter("lifecycle_reloads_total"),
 		hits:        opts.Metrics.Counter("lifecycle_snapshot_hits_total"),
 		misses:      opts.Metrics.Counter("lifecycle_snapshot_misses_total"),
@@ -204,6 +215,7 @@ func New(opts Options) *Manager {
 		failures:    opts.Metrics.Counter("lifecycle_build_failures_total"),
 		rebuildIncr: opts.Metrics.Counter(`lifecycle_rebuild_total{mode="incremental"}`),
 		rebuildFull: opts.Metrics.Counter(`lifecycle_rebuild_total{mode="full"}`),
+		storeRetry:  opts.Metrics.Counter("lifecycle_store_retries_total"),
 		swapHist:    opts.Metrics.Histogram("lifecycle_swap_latency_micros"),
 		buildHist:   opts.Metrics.Histogram("lifecycle_build_micros"),
 		loadHist:    opts.Metrics.Histogram("lifecycle_snapshot_load_micros"),
@@ -451,15 +463,42 @@ func (m *Manager) tryIncremental(ctx context.Context, name string, src Source, p
 	return adv, diffs.ReuseRatio(), true
 }
 
-// snapshot persists a freshly built advisor; failures are logged, not fatal
-// (the advisor still serves, the next boot just cold-builds again).
+// snapshot persists a freshly built advisor, retrying transient store I/O
+// failures with bounded jittered backoff (each retry increments
+// lifecycle_store_retries_total). Exhausted retries are logged, not fatal:
+// the advisor still serves, the next boot just cold-builds again.
 func (m *Manager) snapshot(name string, src Source, adv *core.Advisor, fp string) {
 	if m.opts.Store == nil {
 		return
 	}
-	if _, err := m.opts.Store.Save(name, adv, src.Path, fp); err != nil {
-		m.opts.Logger.Warn("snapshot save failed", "advisor", name, "err", err)
+	var err error
+	for attempt := 0; attempt <= m.opts.Retries; attempt++ {
+		if attempt > 0 {
+			m.storeRetry.Inc()
+			m.sleep(jitteredBackoff(m.opts.Backoff, attempt-1, name))
+		}
+		if _, err = m.opts.Store.Save(name, adv, src.Path, fp); err == nil {
+			if attempt > 0 {
+				m.opts.Logger.Info("snapshot save recovered", "advisor", name, "attempts", attempt+1)
+			}
+			return
+		}
+		m.opts.Logger.Warn("snapshot save failed", "advisor", name, "attempt", attempt+1, "err", err)
 	}
+	m.opts.Logger.Warn("snapshot save abandoned", "advisor", name, "err", err)
+}
+
+// jitteredBackoff is the attempt'th retry delay: base<<attempt scaled by a
+// deterministic ±25% jitter derived from the advisor name and attempt, so
+// concurrent retries for different advisors de-synchronize without
+// wall-clock randomness (chaos runs stay reproducible).
+func jitteredBackoff(base time.Duration, attempt int, name string) time.Duration {
+	d := base << attempt
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	_, _ = h.Write([]byte{byte(attempt)})
+	frac := float64(h.Sum32()%1000)/1000.0*0.5 - 0.25 // [-0.25, +0.25)
+	return d + time.Duration(float64(d)*frac)
 }
 
 // Run polls source fingerprints until ctx is cancelled, triggering
@@ -593,6 +632,13 @@ func (m *Manager) rebuild(ctx context.Context, name string) error {
 			case <-ctx.Done():
 				return ctx.Err()
 			}
+		}
+		if ferr := m.flt.Err(fault.LifecycleRebuild); ferr != nil {
+			// injected rebuild fault: the attempt fails before any work,
+			// exercising exactly this retry loop
+			lastErr = fmt.Errorf("lifecycle: rebuild %s: %w", name, ferr)
+			m.opts.Logger.Warn("rebuild attempt failed", "advisor", name, "attempt", attempt+1, "err", ferr)
+			continue
 		}
 		fp, err := st.src.Fingerprint()
 		if err != nil {

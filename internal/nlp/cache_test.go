@@ -1,0 +1,239 @@
+package nlp
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/obs"
+)
+
+func TestAnnotationCacheGetPutLen(t *testing.T) {
+	c := NewAnnotationCache()
+	if c.Len() != 0 {
+		t.Fatalf("fresh cache Len = %d", c.Len())
+	}
+	a := Annotate(testSentences[0])
+	c.Put("s1", a)
+	if got, ok := c.Get("s1"); !ok || got != a {
+		t.Fatalf("Get after Put: %v %v", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	// the empty ID is never stored or served: it means "identity unknown"
+	c.Put("", a)
+	if _, ok := c.Get(""); ok || c.Len() != 1 {
+		t.Fatal("empty sentence ID cached")
+	}
+	// nil annotations are not stored either
+	c.Put("s2", nil)
+	if _, ok := c.Get("s2"); ok {
+		t.Fatal("nil annotation cached")
+	}
+	// overwrite replaces
+	b := Annotate(testSentences[1])
+	c.Put("s1", b)
+	if got, _ := c.Get("s1"); got != b {
+		t.Fatal("Put did not overwrite")
+	}
+}
+
+func TestAnnotationCacheNilSafety(t *testing.T) {
+	var c *AnnotationCache
+	c.Put("s1", Annotate("x"))
+	if _, ok := c.Get("s1"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("nil cache Len = %d", c.Len())
+	}
+}
+
+// TestFromSavedTermsRoundTrip: a reconstituted annotation serves exactly the
+// persisted terms — no NLP stage runs, so the terms are returned verbatim
+// even when they differ from what fresh annotation would compute.
+func TestFromSavedTermsRoundTrip(t *testing.T) {
+	text := testSentences[0]
+	saved := Annotate(text).Terms()
+	a := FromSavedTerms(text, saved)
+	if a.Text != text || a.Index != -1 {
+		t.Fatalf("reconstituted annotation: text %q index %d", a.Text, a.Index)
+	}
+	if !reflect.DeepEqual(a.Terms(), saved) {
+		t.Fatalf("Terms() = %v, want saved %v", a.Terms(), saved)
+	}
+	// the terms are pinned at construction, not recomputed on access
+	marker := []string{"marker", "terms"}
+	b := FromSavedTerms(text, marker)
+	if !reflect.DeepEqual(b.Terms(), marker) {
+		t.Fatalf("Terms() = %v recomputed, want pinned %v", b.Terms(), marker)
+	}
+}
+
+// TestAnnotateAllCachedReuse: cached identities are served without
+// re-annotation (pointer identity), misses are annotated, index-fixed to
+// their full-document position, and added to the cache.
+func TestAnnotateAllCachedReuse(t *testing.T) {
+	an := NewAnnotator(WithParallelism(2))
+	texts := []string{testSentences[0], testSentences[1], testSentences[2]}
+	ids := []doc.SentenceID{"a", "b", "c"}
+
+	cache := NewAnnotationCache()
+	kept := Annotate(texts[1])
+	kept.Index = 99 // position in a previous build; reuse keeps it as-is
+	cache.Put("b", kept)
+
+	out, hits := an.AnnotateAllCached(ids, texts, cache)
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if out[1] != kept {
+		t.Fatal("cached annotation not reused by pointer")
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Text != texts[i] || out[i].Index != i {
+			t.Fatalf("miss %d: text %q index %d", i, out[i].Text, out[i].Index)
+		}
+		if got, ok := cache.Get(ids[i]); !ok || got != out[i] {
+			t.Fatalf("miss %d not added to cache", i)
+		}
+	}
+
+	// a second pass over the same identities is all hits
+	out2, hits2 := an.AnnotateAllCached(ids, texts, cache)
+	if hits2 != 3 {
+		t.Fatalf("second pass hits = %d, want 3", hits2)
+	}
+	for i := range out2 {
+		if out2[i] != out[i] {
+			t.Fatalf("second pass slot %d not served from cache", i)
+		}
+	}
+}
+
+// TestAnnotateAllCachedShortIDs: sentences beyond the id list are annotated
+// fresh every time and never cached — identity unknown means no reuse.
+func TestAnnotateAllCachedShortIDs(t *testing.T) {
+	an := NewAnnotator()
+	texts := []string{testSentences[0], testSentences[1]}
+	cache := NewAnnotationCache()
+	out, hits := an.AnnotateAllCached([]doc.SentenceID{"only-first"}, texts, cache)
+	if hits != 0 || len(out) != 2 {
+		t.Fatalf("hits %d len %d", hits, len(out))
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d, want 1 (unidentified sentence cached?)", cache.Len())
+	}
+	if out[1].Index != 1 {
+		t.Fatalf("unidentified sentence index %d, want 1", out[1].Index)
+	}
+}
+
+func TestAnnotateAllCachedNilCacheDegrades(t *testing.T) {
+	an := NewAnnotator(WithParallelism(1))
+	texts := []string{testSentences[0], testSentences[1]}
+	out, hits := an.AnnotateAllCached([]doc.SentenceID{"a", "b"}, texts, nil)
+	if hits != 0 {
+		t.Fatalf("nil cache hits = %d", hits)
+	}
+	want := an.AnnotateAll(texts)
+	for i := range out {
+		if out[i].Text != want[i].Text || out[i].Index != i {
+			t.Fatalf("slot %d: %q/%d", i, out[i].Text, out[i].Index)
+		}
+	}
+}
+
+// TestAnnotationCacheConcurrent hammers Get/Put/Len from many goroutines
+// (run with -race): concurrent mixed access must never lose an entry that
+// was Put, and Get must only return annotations that were stored.
+func TestAnnotationCacheConcurrent(t *testing.T) {
+	cache := NewAnnotationCache()
+	base := Annotate(testSentences[0])
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := doc.SentenceID(fmt.Sprintf("s%d", i%50))
+				if i%3 == 0 {
+					cache.Put(id, base)
+				} else if a, ok := cache.Get(id); ok && a != base {
+					t.Errorf("cache returned an annotation nobody stored")
+					return
+				}
+				_ = cache.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := cache.Len(); n == 0 || n > 50 {
+		t.Fatalf("post-hammer Len = %d, want 1..50", n)
+	}
+}
+
+// TestAnnotateCtx: without a sampled span the traced path equals plain
+// annotation; with one, each NLP stage appears as a child span.
+func TestAnnotateCtx(t *testing.T) {
+	an := NewAnnotator()
+	text := testSentences[0]
+
+	plain := an.AnnotateCtx(context.Background(), text)
+	direct := an.Annotate(text)
+	if !reflect.DeepEqual(plain.Tokens(), direct.Tokens()) || !reflect.DeepEqual(plain.Stems, direct.Stems) {
+		t.Fatal("untraced AnnotateCtx diverges from Annotate")
+	}
+
+	store := obs.NewTraceStore(4)
+	tracer := obs.NewTracer(1, store)
+	ctx, root := tracer.Start(context.Background(), "test")
+	if root == nil {
+		t.Fatal("tracer with rate 1 did not sample")
+	}
+	traced := an.AnnotateCtx(ctx, text)
+	root.Finish()
+	if !reflect.DeepEqual(traced.Tokens(), direct.Tokens()) {
+		t.Fatal("traced AnnotateCtx diverges from Annotate")
+	}
+	tj, ok := store.Get(obs.TraceID(ctx))
+	if !ok {
+		t.Fatal("sampled trace not stored")
+	}
+	if len(tj.Root.Children) != 1 || tj.Root.Children[0].Name != "nlp.annotate" {
+		t.Fatalf("root children: %+v", tj.Root.Children)
+	}
+	stages := tj.Root.Children[0].Children
+	want := []string{"tokenize", "tag", "parse", "stem"}
+	if len(stages) != len(want) {
+		t.Fatalf("stage spans: %+v", stages)
+	}
+	for i, s := range stages {
+		if s.Name != want[i] {
+			t.Fatalf("stage %d = %q, want %q", i, s.Name, want[i])
+		}
+	}
+}
+
+// TestAnnotateAllCtxTraced: the fan-out is recorded as a single
+// nlp.annotate_all span with sentence and worker counts.
+func TestAnnotateAllCtxTraced(t *testing.T) {
+	store := obs.NewTraceStore(4)
+	tracer := obs.NewTracer(1, store)
+	ctx, root := tracer.Start(context.Background(), "test")
+	out := NewAnnotator(WithParallelism(2)).AnnotateAllCtx(ctx, []string{testSentences[0], testSentences[1]})
+	root.Finish()
+	if len(out) != 2 {
+		t.Fatalf("annotated %d", len(out))
+	}
+	tj, ok := store.Get(obs.TraceID(ctx))
+	if !ok || len(tj.Root.Children) != 1 || tj.Root.Children[0].Name != "nlp.annotate_all" {
+		t.Fatalf("trace: %+v", tj.Root)
+	}
+}

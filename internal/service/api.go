@@ -90,9 +90,12 @@ type ReloadResponse struct {
 	TraceID       string          `json:"trace_id,omitempty"`
 }
 
-// ErrorResponse is every non-2xx body.
+// ErrorResponse is every non-2xx body. TraceID carries the request's trace
+// ID so a failure in a log or bug report links straight to its /tracez
+// entry.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func toRule(s core.AdvisingSentence) Rule {

@@ -78,6 +78,10 @@ func (s *Service) Batch(ctx context.Context, items []BatchItem) []BatchItemResul
 	if workers > 1 {
 		wctx = vsm.WithSerialScoring(ctx)
 	}
+	// fair-share the remaining request budget across scheduling waves: item
+	// 64 of a big batch gets the same slice as item 1 instead of inheriting
+	// whatever the early items left over (see batchShare)
+	share := batchShare(remainingBudget(ctx, s.opts.Timeout), len(items), workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -89,7 +93,7 @@ func (s *Service) Batch(ctx context.Context, items []BatchItem) []BatchItemResul
 				if i >= len(items) {
 					return
 				}
-				results[i] = s.batchItem(wctx, parent, i, items[i])
+				results[i] = s.batchItem(wctx, parent, i, items[i], share)
 			}
 		}()
 	}
@@ -97,14 +101,19 @@ func (s *Service) Batch(ctx context.Context, items []BatchItem) []BatchItemResul
 	return results
 }
 
-// batchItem answers one batch item under its own trace ID and span, so each
-// item is individually attributable in traces and responses.
-func (s *Service) batchItem(ctx context.Context, parent *obs.Span, i int, item BatchItem) BatchItemResult {
+// batchItem answers one batch item under its own trace ID, span, and time
+// share, so each item is individually attributable in traces and responses
+// and cannot consume the budget of the items behind it.
+func (s *Service) batchItem(ctx context.Context, parent *obs.Span, i int, item BatchItem, share time.Duration) BatchItemResult {
 	res := BatchItemResult{Advisor: item.Advisor, Query: item.Query, Backend: item.Backend}
 	span := parent.StartChild("batch.item")
 	defer span.Finish()
 	span.SetAttrInt("index", i)
 	span.SetAttr("advisor", item.Advisor)
+	// the item's clock starts when a worker picks it up, not when the batch
+	// arrived; the parent deadline still caps it (WithTimeout never extends)
+	ctx, cancel := context.WithTimeout(ctx, share)
+	defer cancel()
 	ctx = obs.WithTraceID(ctx, obs.NewTraceID())
 	res.TraceID = obs.TraceID(ctx)
 	if span != nil {
@@ -157,7 +166,11 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	results := s.Batch(r.Context(), req.Queries)
+	// the whole batch runs inside one request budget; Batch splits it into
+	// per-wave item shares
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	results := s.Batch(ctx, req.Queries)
 	s.stats.recordBatch(time.Since(start), len(results))
 	nerr := 0
 	for i := range results {

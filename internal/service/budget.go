@@ -1,0 +1,62 @@
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// Deadline-budget propagation: a request-scoped time budget is split fairly
+// across the sub-queries a request fans out into, instead of every
+// sub-query racing the parent deadline. Without the split, item 1 of a
+// 64-item batch and item 64 see the same deadline — the early items can
+// consume the whole budget and leave the tail guaranteed timeouts; with it,
+// each scheduling wave of the worker pool gets an equal slice, so a fixed
+// per-item share survives even when earlier items run long.
+
+// minShare is the floor on any budget share: a leg is never handed a
+// sub-millisecond deadline, which would be indistinguishable from failure.
+const minShare = time.Millisecond
+
+// batchShare returns the per-item time budget for a pool of workers
+// answering items sequentially in waves: remaining / ceil(items/workers).
+// Shares are floored at minShare; a non-positive remaining (deadline
+// already expired) returns the floor and lets the context layer fail the
+// call cleanly.
+func batchShare(remaining time.Duration, items, workers int) time.Duration {
+	if items <= 0 {
+		return remaining
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > items {
+		workers = items
+	}
+	waves := (items + workers - 1) / workers
+	share := remaining / time.Duration(waves)
+	if share < minShare {
+		return minShare
+	}
+	return share
+}
+
+// askShare returns the per-leg time budget for a fully concurrent
+// federation fan-out: the remaining budget minus a 10% merge reserve, so
+// the merge and response encoding still happen inside the request deadline
+// even when every leg runs to its limit. Floored at minShare.
+func askShare(remaining time.Duration) time.Duration {
+	share := remaining - remaining/10
+	if share < minShare {
+		return minShare
+	}
+	return share
+}
+
+// remainingBudget returns the time left until the context deadline, or fall
+// when the context carries none.
+func remainingBudget(ctx context.Context, fall time.Duration) time.Duration {
+	if dl, ok := ctx.Deadline(); ok {
+		return time.Until(dl)
+	}
+	return fall
+}

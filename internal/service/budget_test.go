@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBatchShare(t *testing.T) {
+	tests := []struct {
+		remaining      time.Duration
+		items, workers int
+		want           time.Duration
+	}{
+		// 8 items over 8 workers: one wave, everyone gets the full budget
+		{2 * time.Second, 8, 8, 2 * time.Second},
+		// 64 items over 8 workers: 8 waves
+		{2 * time.Second, 64, 8, 250 * time.Millisecond},
+		// 65 items over 8 workers: 9 waves (ceil)
+		{900 * time.Millisecond, 65, 8, 100 * time.Millisecond},
+		// more workers than items: clamps to one wave
+		{time.Second, 2, 8, time.Second},
+		// zero workers defaults to one
+		{100 * time.Millisecond, 2, 0, 50 * time.Millisecond},
+		// expired budget floors at minShare instead of going negative
+		{-time.Second, 4, 2, minShare},
+		{0, 4, 2, minShare},
+		// no items: pass the budget through
+		{time.Second, 0, 8, time.Second},
+	}
+	for _, tt := range tests {
+		if got := batchShare(tt.remaining, tt.items, tt.workers); got != tt.want {
+			t.Errorf("batchShare(%v, %d, %d) = %v, want %v",
+				tt.remaining, tt.items, tt.workers, got, tt.want)
+		}
+	}
+}
+
+func TestAskShare(t *testing.T) {
+	if got := askShare(time.Second); got != 900*time.Millisecond {
+		t.Errorf("askShare(1s) = %v, want 900ms (10%% merge reserve)", got)
+	}
+	if got := askShare(0); got != minShare {
+		t.Errorf("askShare(0) = %v, want floor %v", got, minShare)
+	}
+	if got := askShare(-time.Second); got != minShare {
+		t.Errorf("askShare(-1s) = %v, want floor %v", got, minShare)
+	}
+}
+
+func TestRemainingBudget(t *testing.T) {
+	if got := remainingBudget(context.Background(), 3*time.Second); got != 3*time.Second {
+		t.Errorf("no-deadline context: %v, want fallback", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got := remainingBudget(ctx, 3*time.Second)
+	if got <= 50*time.Second || got > time.Minute {
+		t.Errorf("deadline context: %v, want just under 1m", got)
+	}
+}
+
+// TestBatchItemsGetFairShares answers a batch whose per-item share math is
+// observable: with the service timeout as the whole budget and more items
+// than workers, each item's deadline must be a fraction of the request's.
+func TestBatchItemsGetFairShares(t *testing.T) {
+	svc, _ := newTestService(t, Options{Timeout: time.Second, BatchWorkers: 2})
+	items := []BatchItem{
+		{Advisor: "cuda", Query: "memory coalescing"},
+		{Advisor: "cuda", Query: "shared memory bank conflict"},
+		{Advisor: "cuda", Query: "occupancy"},
+		{Advisor: "cuda", Query: "warp divergence"},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	results := svc.Batch(ctx, items)
+	for i, r := range results {
+		if r.Error != "" {
+			t.Errorf("item %d (%q): %s", i, items[i].Query, r.Error)
+		}
+	}
+	// 4 items / 2 workers = 2 waves: each item's share is ~remaining/2 and
+	// the batch still completes well inside the parent deadline
+	if share := batchShare(time.Second, len(items), 2); share != 500*time.Millisecond {
+		t.Fatalf("wave math drifted: share = %v", share)
+	}
+}
+
+// TestBudgetNeverExtendsParentDeadline pins the composition rule the whole
+// design rests on: WithTimeout can only shrink the remaining budget.
+func TestBudgetNeverExtendsParentDeadline(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	child, cancel2 := context.WithTimeout(parent, time.Hour)
+	defer cancel2()
+	dl, ok := child.Deadline()
+	if !ok {
+		t.Fatal("child lost the deadline")
+	}
+	if time.Until(dl) > 10*time.Millisecond {
+		t.Fatalf("child deadline %v extends the parent's", time.Until(dl))
+	}
+}

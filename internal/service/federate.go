@@ -63,6 +63,11 @@ func (s *Service) Ask(ctx context.Context, backend, q string, k int) ([]Federate
 	names := s.reg.Names()
 	perAdvisor := make([][]FederatedAnswer, len(names))
 	errTexts := make([]string, len(names))
+	// every leg runs concurrently, so each gets the same share: the
+	// remaining request budget minus a merge reserve (see askShare). The
+	// leg's own WithTimeout can only shrink the parent deadline, never
+	// extend it.
+	share := askShare(remainingBudget(ctx, s.opts.Timeout))
 	var wg sync.WaitGroup
 	for i, name := range names {
 		wg.Add(1)
@@ -70,7 +75,21 @@ func (s *Service) Ask(ctx context.Context, backend, q string, k int) ([]Federate
 			defer wg.Done()
 			span := parent.StartChild("ask." + name)
 			defer span.Finish()
-			answers, hit, err := s.CachedQueryBackend(ctx, name, backend, q)
+			// an open breaker skips the advisor outright: the leg reports
+			// ErrBreakerOpen in the errors map instead of burning its
+			// budget timing out against a failing advisor
+			br := s.breakers.get(name)
+			if !br.Allow() {
+				bspan := span.StartChild("breaker")
+				bspan.SetAttr("state", br.State().String())
+				bspan.Finish()
+				span.SetAttr("outcome", "breaker-open")
+				errTexts[i] = ErrBreakerOpen.Error()
+				return
+			}
+			lctx, cancel := context.WithTimeout(ctx, share)
+			defer cancel()
+			answers, hit, err := s.CachedQueryBackend(lctx, name, backend, q)
 			if err != nil {
 				span.SetAttr("outcome", "error")
 				errTexts[i] = err.Error()
@@ -153,7 +172,11 @@ func (s *Service) handleAsk(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	answers, errs := s.Ask(r.Context(), backend, q, k)
+	// establish the request-wide budget here so the per-leg shares inside
+	// Ask are computed against a real deadline
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	answers, errs := s.Ask(ctx, backend, q, k)
 	writeJSON(w, http.StatusOK, AskResponse{
 		Query:   q,
 		Backend: backend,

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lifecycle"
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
@@ -43,6 +44,17 @@ type Options struct {
 	// Metrics is the registry the service's counters and latency
 	// histograms live in, served on /metricz (default obs.Default()).
 	Metrics *obs.Registry
+
+	// Fault is the fault-injection layer (see internal/fault). nil — the
+	// production default — compiles every fault point to a single nil
+	// check, the same pattern as unsampled obs spans.
+	Fault *fault.Injector
+	// BreakerThreshold is how many consecutive infrastructure failures
+	// open an advisor's circuit breaker (default 5); BreakerCooldown is
+	// how long an open breaker waits before admitting a half-open probe
+	// (default 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -92,7 +104,9 @@ type Service struct {
 	stats    *Stats
 	opts     Options
 	mux      *http.ServeMux
-	draining sync.RWMutex // held exclusively only to flip drain
+	flt      *fault.Injector // nil unless fault injection is enabled
+	breakers *breakerSet     // per-advisor circuit breakers
+	draining sync.RWMutex    // held exclusively only to flip drain
 	drained  bool
 
 	lcMu sync.RWMutex
@@ -105,12 +119,14 @@ func New(reg *Registry, opts Options) *Service {
 	opts = opts.withDefaults()
 	stats := newStats(opts.Metrics)
 	s := &Service{
-		reg:   reg,
-		cache: NewCache(opts.CacheSize, opts.CacheShards, stats),
-		admit: NewAdmission(opts.MaxInFlight, opts.MaxQueue, stats),
-		stats: stats,
-		opts:  opts,
-		mux:   http.NewServeMux(),
+		reg:      reg,
+		cache:    NewCache(opts.CacheSize, opts.CacheShards, stats),
+		admit:    NewAdmission(opts.MaxInFlight, opts.MaxQueue, stats),
+		stats:    stats,
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		flt:      opts.Fault,
+		breakers: newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown, opts.Metrics),
 	}
 	reg.SetLogf(func(format string, args ...any) {
 		opts.Logger.Info(fmt.Sprintf(format, args...))
@@ -160,6 +176,7 @@ func (s *Service) Stats() StatsSnapshot {
 		st := lm.State()
 		snap.Lifecycle = &st
 	}
+	snap.Breakers = s.breakers.snapshot()
 	return snap
 }
 
@@ -215,7 +232,13 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	traceID := obs.TraceID(ctx)
 	w.Header().Set("X-Trace-Id", traceID)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(rec, r.WithContext(ctx))
+	if ferr := s.flt.Err(fault.ServiceHandler); ferr != nil {
+		// injected handler fault: the request fails before routing, but
+		// still as a well-formed JSON error carrying its trace ID
+		writeError(rec, http.StatusInternalServerError, "%v", ferr)
+	} else {
+		s.mux.ServeHTTP(rec, r.WithContext(ctx))
+	}
 	dur := time.Since(start)
 	if rec.status >= 500 {
 		s.stats.errors5xx.Add(1)
@@ -258,6 +281,22 @@ func (s *Service) CachedQueryBackend(ctx context.Context, advisor, backend, q st
 	adv, ok := s.reg.Get(advisor)
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownAdvisor, advisor)
+	}
+	// every outcome past this point feeds the advisor's circuit breaker:
+	// successes reset it, infrastructure failures (timeouts, injected
+	// faults, internal errors) count toward tripping it, and client errors
+	// or server-wide overload are not this advisor's fault and record
+	// nothing (see breakerFailure)
+	defer func() {
+		switch {
+		case err == nil:
+			s.breakers.get(advisor).Record(false)
+		case breakerFailure(err):
+			s.breakers.get(advisor).Record(true)
+		}
+	}()
+	if ferr := s.flt.Err(fault.NLPAnnotate); ferr != nil {
+		return nil, false, ferr
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
 	defer cancel()
@@ -304,6 +343,12 @@ func (s *Service) CachedQueryBackend(ctx context.Context, advisor, backend, q st
 			bctx := obs.ContextWithSpan(context.Background(), scoreSpan)
 			if serial {
 				bctx = vsm.WithSerialScoring(bctx)
+			}
+			// injected scoring faults surface here, inside the compute
+			// func: GetOrCompute never caches errors, so a fault storm
+			// cannot poison the cache with wrong answers
+			if ferr := s.flt.Err(fault.VSMScore); ferr != nil {
+				return nil, ferr
 			}
 			out, qerr := adv.QueryTermsBackendCtx(bctx, backend, terms)
 			if qerr != nil {
@@ -543,5 +588,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	// ServeHTTP stamps X-Trace-Id on the response before routing, so every
+	// error body can echo its trace ID without threading a context here
+	writeJSON(w, status, ErrorResponse{
+		Error:   fmt.Sprintf(format, args...),
+		TraceID: w.Header().Get("X-Trace-Id"),
+	})
 }

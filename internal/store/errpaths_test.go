@@ -1,0 +1,287 @@
+package store_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// The degraded-directory and orphan-file paths: what List, GC, Quarantine,
+// and the manifest probe do when the store directory is damaged in ways a
+// crash, an operator, or a foreign process can produce.
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := store.Open(""); err == nil {
+		t.Error("Open(\"\") accepted")
+	}
+	// a path through a regular file cannot be created as a directory
+	dir := t.TempDir()
+	file := filepath.Join(dir, "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(filepath.Join(file, "sub")); err == nil {
+		t.Error("Open through a regular file accepted")
+	}
+	st, err := store.Open(filepath.Join(dir, "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dir() != filepath.Join(dir, "snaps") {
+		t.Errorf("Dir() = %q", st.Dir())
+	}
+}
+
+func TestManifestProbe(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Manifest("no/slash"); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if _, err := st.Manifest("absent"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("missing pair: %v, want ErrNotFound", err)
+	}
+	if _, err := st.Save("cuda", smallAdvisor(t, 3), "", "h1"); err != nil {
+		t.Fatal(err)
+	}
+	man, err := st.Manifest("cuda")
+	if err != nil || man.Advisor != "cuda" || man.SourceHash != "h1" {
+		t.Fatalf("probe after save: %+v %v", man, err)
+	}
+}
+
+// TestOrphanPayload: a .snap with no manifest is an interrupted or foreign
+// write — ErrCorrupt from both the probe and Load, never a clean miss.
+func TestOrphanPayload(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cuda.snap"), []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Manifest("cuda"); !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("orphan payload probe: %v, want ErrCorrupt", err)
+	}
+	if _, _, err := st.Load("cuda"); !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("orphan payload load: %v, want ErrCorrupt", err)
+	}
+	// quarantine moves the half that exists; the next load is a clean miss
+	if err := st.Quarantine("cuda"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cuda.snap.bad")); err != nil {
+		t.Errorf("orphan payload not quarantined: %v", err)
+	}
+	if _, _, err := st.Load("cuda"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("post-quarantine load: %v, want ErrNotFound", err)
+	}
+}
+
+// TestOrphanManifest: a manifest with no payload fails Load as corruption
+// (the manifest promises bytes that are not there) and is skippable
+// inventory for List.
+func TestOrphanManifest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save("cuda", smallAdvisor(t, 3), "", "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "cuda.snap")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load("cuda"); !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("orphan manifest load: %v, want ErrCorrupt", err)
+	}
+	// the probe alone stays clean: manifests are readable without payloads
+	if _, err := st.Manifest("cuda"); err != nil {
+		t.Errorf("orphan manifest probe: %v", err)
+	}
+	// List reports it (inventory, not validation)...
+	mans, err := st.List()
+	if err != nil || len(mans) != 1 {
+		t.Fatalf("List over orphan manifest: %v %v", mans, err)
+	}
+	// ...and GC leaves it alone (GC walks payloads), but quarantine clears it
+	removed, err := st.GC(nil)
+	if err != nil || len(removed) != 0 {
+		t.Fatalf("GC removed %v, %v", removed, err)
+	}
+	if err := st.Quarantine("cuda"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Manifest("cuda"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("post-quarantine probe: %v, want ErrNotFound", err)
+	}
+}
+
+// TestListSkipsBadAndForeignEntries: quarantined pairs, corrupt manifests,
+// subdirectories, and foreign files never show up in the inventory.
+func TestListSkipsBadAndForeignEntries(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save("keep", smallAdvisor(t, 3), "", "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save("broken", smallAdvisor(t, 4), "", "h2"); err != nil {
+		t.Fatal(err)
+	}
+	// corrupt one manifest in place
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// a quarantined pair
+	if _, err := st.Save("bad", smallAdvisor(t, 5), "", "h3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quarantine("bad"); err != nil {
+		t.Fatal(err)
+	}
+	// a wrong-format-version manifest
+	if err := os.WriteFile(filepath.Join(dir, "future.json"),
+		[]byte(`{"format_version":999,"advisor":"future"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// foreign noise: a subdirectory and an unrelated file
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mans, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mans) != 1 || mans[0].Advisor != "keep" {
+		names := make([]string, len(mans))
+		for i, m := range mans {
+			names[i] = m.Advisor
+		}
+		t.Fatalf("List = %v, want [keep]", names)
+	}
+	// the wrong-version manifest is corrupt for Load, too
+	if _, _, err := st.Load("future"); !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("future-version load: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestListGCUnreadableDir: once the directory is gone, inventory and GC fail
+// loudly instead of reporting an empty store.
+func TestListGCUnreadableDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.List(); err == nil {
+		t.Error("List over a missing directory reported success")
+	}
+	if _, err := st.GC(nil); err == nil {
+		t.Error("GC over a missing directory reported success")
+	}
+	// Save cannot stage its temp file either
+	if _, err := st.Save("cuda", smallAdvisor(t, 3), "", "h"); err == nil {
+		t.Error("Save into a missing directory reported success")
+	}
+}
+
+// TestGCPreservesQuarantinedEvidence: GC removes rejected names but never
+// touches .bad files, and tolerates a payload whose manifest is already gone.
+func TestGCPreservesQuarantinedEvidence(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"keep", "drop", "bad"} {
+		if _, err := st.Save(name, smallAdvisor(t, 3), "", "h"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Quarantine("bad"); err != nil {
+		t.Fatal(err)
+	}
+	// orphan payload: manifest removed by hand
+	if err := os.Remove(filepath.Join(dir, "drop.json")); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := st.GC(func(name string) bool { return name == "keep" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "drop" {
+		t.Fatalf("GC removed %v, want [drop]", removed)
+	}
+	for _, f := range []string{"keep.snap", "keep.json", "bad.snap.bad", "bad.json.bad"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("GC removed %s: %v", f, err)
+		}
+	}
+	for _, f := range []string{"drop.snap", "drop.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err == nil {
+			t.Errorf("GC left %s behind", f)
+		}
+	}
+}
+
+func TestQuarantineInvalidAndMissing(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quarantine("../escape"); err == nil {
+		t.Error("invalid name accepted")
+	}
+	// nothing to move is not an error: the goal state (clean miss) holds
+	if err := st.Quarantine("absent"); err != nil {
+		t.Errorf("quarantining nothing: %v", err)
+	}
+}
+
+// TestLoadSizeMismatch: a payload whose length disagrees with the manifest
+// is corrupt before any checksum work happens.
+func TestLoadSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save("cuda", smallAdvisor(t, 3), "", "h"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "cuda.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cuda.snap"), append(data, "trailing"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = st.Load("cuda")
+	if !errors.Is(err, store.ErrCorrupt) || !strings.Contains(err.Error(), "bytes") {
+		t.Errorf("size mismatch: %v", err)
+	}
+}
+
+func TestHashFileMissing(t *testing.T) {
+	if _, err := store.HashFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("HashFile on a missing file reported success")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // FormatVersion guards the store layout (file naming + manifest schema).
@@ -73,7 +74,13 @@ type Manifest struct {
 // snapshot wins", never on torn bytes (renames are atomic).
 type Store struct {
 	dir string
+	flt *fault.Injector // nil unless fault injection is enabled
 }
+
+// SetFaults wires a fault injector into the store's I/O paths (store.write,
+// store.read). A nil injector — the production default — costs one nil
+// check per operation. Call before handing the store to concurrent users.
+func (s *Store) SetFaults(in *fault.Injector) { s.flt = in }
 
 // Open creates (if needed) and returns the store at dir.
 func Open(dir string) (*Store, error) {
@@ -140,6 +147,18 @@ func (s *Store) Save(name string, a *core.Advisor, sourcePath, sourceHash string
 	manData, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return Manifest{}, fmt.Errorf("store: manifest %s: %w", name, err)
+	}
+	if ferr := s.flt.Err(fault.StoreWrite); ferr != nil {
+		// clean injected write failure: nothing on disk changed
+		return Manifest{}, fmt.Errorf("store: save %s: %w", name, ferr)
+	}
+	if torn, mangled := s.flt.Mangle(fault.StoreWrite, data); mangled {
+		// simulated crash mid-save: the truncated payload lands (atomically,
+		// as a real crash-then-rename interleaving would), the manifest is
+		// never written, and the caller sees a failure. A later Load finds
+		// the old manifest describing different bytes -> ErrCorrupt.
+		_ = s.writeAtomic(s.snapPath(name), torn)
+		return Manifest{}, fmt.Errorf("store: save %s: %w (torn write)", name, fault.ErrInjected)
 	}
 	if err := s.writeAtomic(s.snapPath(name), data); err != nil {
 		return Manifest{}, err
@@ -238,6 +257,11 @@ func (s *Store) Load(name string) (*core.Advisor, Manifest, error) {
 	man, err := s.readManifest(name)
 	if err != nil {
 		return nil, Manifest{}, err
+	}
+	if ferr := s.flt.Err(fault.StoreRead); ferr != nil {
+		// an injected read failure surfaces exactly like a real I/O error:
+		// as corruption, so callers fall back to a rebuild
+		return nil, man, fmt.Errorf("%w: read payload %s: %v", ErrCorrupt, name, ferr)
 	}
 	data, err := os.ReadFile(s.snapPath(name))
 	if err != nil {
