@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/depparse"
+	"repro/internal/doc"
 	"repro/internal/experiments"
 	"repro/internal/nlp"
 	"repro/internal/nvvp"
@@ -504,6 +505,45 @@ func BenchmarkAnnotateOnce(b *testing.B) {
 			vsm.BuildFromTerms(terms)
 		}
 	})
+}
+
+// --- sharded retrieval scaling ----------------------------------------------
+
+// BenchmarkShardedQuery measures Stage-II fan-out/merge cost across shard
+// counts and corpus sizes (tracked across PRs). The corpora come from the
+// same seeded generator corpusgen exposes, so the numbers are reproducible
+// from the (register, size, frac, seed) tuple. shards=1 uses the monolithic
+// Index — the baseline the sharded layouts are judged against; scores are
+// bit-identical at every shard count, so this benchmark isolates pure
+// orchestration overhead (goroutine fan-out, k-way merge) against whatever
+// parallel speedup the host's cores provide.
+func BenchmarkShardedQuery(b *testing.B) {
+	const query = "minimize divergent warps caused by control flow"
+	for _, nDocs := range []int{1000, 10000} {
+		g := corpus.GenerateSized(corpus.CUDA, nDocs, 0.2, 19)
+		texts := g.Texts()
+		termLists := make([][]string, len(texts))
+		ids := make([]doc.SentenceID, len(texts))
+		for i, s := range texts {
+			termLists[i] = textproc.NormalizeTerms(s)
+			ids[i] = doc.SentenceID(fmt.Sprintf("bench-%d-%d", nDocs, i))
+		}
+		for _, nShards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("docs=%d/shards=%d", nDocs, nShards), func(b *testing.B) {
+				var ix interface{ QueryAll(string) []float64 }
+				if nShards == 1 {
+					ix = vsm.BuildFromTerms(termLists)
+				} else {
+					ix = vsm.BuildShardedFromTerms(termLists, ids, nShards)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ix.QueryAll(query)
+				}
+			})
+		}
+	}
 }
 
 // --- document-size scaling -------------------------------------------------

@@ -47,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -74,6 +75,7 @@ func main() {
 		corpusReg = flag.String("corpus", "", "built-in synthetic guide: cuda, opencl, xeon")
 		seed      = flag.Int64("seed", 1, "corpus generation seed")
 		threshold = flag.Float64("threshold", 0.15, "similarity threshold for recommendations")
+		shards    = flag.Int("shards", defaultShards(), "Stage-II index shard count (1 = monolithic; retrieval scores are identical at any count)")
 		xeonTuned = flag.Bool("xeon-tuned", false, "use the Xeon-tuned keyword sets (§4.3)")
 		cfgPath   = flag.String("config", "", "JSON keyword configuration merged over the defaults")
 		addr      = flag.String("addr", ":8080", "listen address for serve")
@@ -124,7 +126,7 @@ func main() {
 		}
 		cfg = cfg.Merge(extra)
 	}
-	fw := core.New(core.WithConfig(cfg), core.WithThreshold(*threshold))
+	fw := core.New(core.WithConfig(cfg), core.WithThreshold(*threshold), core.WithShards(*shards))
 	// rules/query/report/repl/save build the advisor in-process; serve warm
 	// starts from the snapshot store (cold-building only what is missing),
 	// and load reads a snapshot file instead of building anything
@@ -160,6 +162,9 @@ func main() {
 			if err := flag.CommandLine.Parse(args[1:]); err != nil {
 				log.Fatal(err)
 			}
+			// the re-parse may have changed framework-level flags
+			// (-threshold, -shards), so rebuild the framework from them
+			fw = core.New(core.WithConfig(cfg), core.WithThreshold(*threshold), core.WithShards(*shards))
 		}
 		if *docPath == "" && *corpusReg == "" {
 			log.Fatal("serve needs one of -doc or -corpus")
@@ -171,7 +176,7 @@ func main() {
 			corpusReg:       *corpusReg,
 			extra:           splitList(*corpora),
 			seed:            *seed,
-			cfgHash:         configFingerprint(cfg, *threshold),
+			cfgHash:         configFingerprint(cfg, *threshold, *shards),
 			snapshotDir:     *snapshotDir,
 			watch:           *watch,
 			rebuildInterval: *rebuildInterval,
@@ -351,16 +356,33 @@ func loadAdvisorFile(path string) (*core.Advisor, error) {
 	return advisor, nil
 }
 
-// configFingerprint hashes everything Stage I depends on besides the
-// document: the keyword configuration and the recommendation threshold.
-// selectors.Config is plain string slices, so the JSON encoding is
-// deterministic.
-func configFingerprint(cfg selectors.Config, threshold float64) string {
+// configFingerprint hashes everything an advisor build depends on besides
+// the document: the keyword configuration, the recommendation threshold,
+// and the index shard count (a snapshot stores its shard layout, so a
+// -shards change must invalidate it). selectors.Config is plain string
+// slices, so the JSON encoding is deterministic.
+func configFingerprint(cfg selectors.Config, threshold float64, shards int) string {
 	blob, _ := json.Marshal(struct {
 		Config    selectors.Config
 		Threshold float64
-	}{cfg, threshold})
+		Shards    int
+	}{cfg, threshold, shards})
 	return store.HashBytes(blob)
+}
+
+// defaultShards derives the default -shards value from the machine: one
+// shard per available CPU, capped at 8 (shards beyond the core count only
+// add merge overhead), and never below 1. On a single-CPU machine this is
+// 1 — the monolithic layout.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // parseDocFile loads and parses an on-disk document, choosing the parser by

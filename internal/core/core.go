@@ -57,6 +57,7 @@ type Framework struct {
 	annotator   *nlp.Annotator
 	threshold   float64
 	parallelism int
+	shards      int
 }
 
 // Option configures a Framework.
@@ -75,6 +76,14 @@ func WithThreshold(t float64) Option {
 // WithParallelism fixes the Stage-I worker count (<=1 forces serial).
 func WithParallelism(n int) Option {
 	return func(f *Framework) { f.parallelism = n }
+}
+
+// WithShards partitions each advisor's Stage-II index across n shards keyed
+// by stable sentence identity (<=1 keeps the monolithic index, the
+// default). Sharded retrieval is Float64bits-identical to monolithic — see
+// vsm.ShardedIndex — so this is purely a serving topology choice.
+func WithShards(n int) Option {
+	return func(f *Framework) { f.shards = n }
 }
 
 // New creates a Framework with the paper's defaults.
@@ -129,8 +138,8 @@ type Advisor struct {
 	ids       []doc.SentenceID  // per-sentence stable identities (aligned with sentences)
 	anns      []*nlp.Annotation // per-sentence annotations, retained for incremental rebuilds
 	advising  []AdvisingSentence
-	isAdv     []bool // per sentence index
-	index     *vsm.Index
+	isAdv     []bool        // per sentence index
+	index     vsm.Retriever // monolithic vsm.Index or vsm.ShardedIndex
 	threshold float64
 	stats     BuildStats
 }
@@ -252,7 +261,11 @@ func (f *Framework) BuildFromSentencesCtx(ctx context.Context, doc *htmldoc.Docu
 	for i, an := range anns {
 		terms[i] = an.Terms()
 	}
-	a.index = vsm.BuildFromTerms(terms)
+	if f.shards > 1 {
+		a.index = vsm.BuildShardedFromTerms(terms, a.ids, f.shards)
+	} else {
+		a.index = vsm.BuildFromTerms(terms)
+	}
 	indexSpan.Finish()
 	a.stats.Indexing = time.Since(start)
 	buildIndex.ObserveDuration(a.stats.Indexing)
@@ -340,6 +353,15 @@ func (a *Advisor) HasIdentity() bool {
 
 // SentenceCount returns the document's total sentence count.
 func (a *Advisor) SentenceCount() int { return len(a.sentences) }
+
+// ShardCount reports how many partitions the advisor's Stage-II index has
+// (1 for the monolithic layout).
+func (a *Advisor) ShardCount() int {
+	if a.index == nil {
+		return 1
+	}
+	return a.index.ShardCount()
+}
 
 // IsAdvising reports Stage I's decision for sentence i.
 func (a *Advisor) IsAdvising(i int) bool {

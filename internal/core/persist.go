@@ -13,8 +13,9 @@ import (
 	"repro/internal/vsm"
 )
 
-// snapshotVersion guards the on-disk format.
-const snapshotVersion = 1
+// snapshotVersion guards the on-disk format. Version 2 added the Shards
+// field (sharded index layout); version-1 snapshots load as single-shard.
+const snapshotVersion = 2
 
 // advisorSnapshot is the serialized form of an Advisor. The TF-IDF index is
 // rebuilt on load from the stored per-sentence term lists (deterministic and
@@ -37,6 +38,10 @@ type advisorSnapshot struct {
 	// produces the identical index (vsm.Build is NormalizeTerms +
 	// BuildFromTerms).
 	Terms [][]string
+	// Shards records the index partition count (version 2+). Zero or one —
+	// including every version-1 snapshot, where gob leaves the field zero —
+	// loads the monolithic layout; scores are identical either way.
+	Shards int
 }
 
 // Save serializes the advisor so it can be reloaded without re-running
@@ -58,6 +63,7 @@ func (a *Advisor) Save(w io.Writer) error {
 		Sentences: a.sentences,
 		Advising:  a.advising,
 		Terms:     terms,
+		Shards:    a.ShardCount(),
 	}
 	if a.doc != nil {
 		snap.Title = a.doc.Title
@@ -76,8 +82,8 @@ func LoadAdvisor(r io.Reader) (*Advisor, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: load advisor: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version < 1 || snap.Version > snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want 1..%d", snap.Version, snapshotVersion)
 	}
 	if snap.Threshold <= 0 {
 		return nil, fmt.Errorf("core: snapshot has invalid threshold %v", snap.Threshold)
@@ -122,7 +128,11 @@ func LoadAdvisor(r io.Reader) (*Advisor, error) {
 		for i, s := range a.sentences {
 			a.anns[i] = nlp.FromSavedTerms(s.Text, snap.Terms[i])
 		}
-		a.index = vsm.BuildFromTerms(snap.Terms)
+		if snap.Shards > 1 {
+			a.index = vsm.BuildShardedFromTerms(snap.Terms, a.ids, snap.Shards)
+		} else {
+			a.index = vsm.BuildFromTerms(snap.Terms)
+		}
 		return a, nil
 	}
 	// no stored terms: the annotations are gone and rebuilding them here

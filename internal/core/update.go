@@ -157,9 +157,9 @@ func (f *Framework) UpdateFromSentencesCtx(ctx context.Context, prev *Advisor, d
 	indexSpan := obs.SpanFrom(ctx).StartChild("index")
 	added := make([]vsm.AddedDoc, len(diffs.Added))
 	for k, j := range diffs.Added {
-		added[k] = vsm.AddedDoc{Pos: j, Terms: anns[j].Terms()}
+		added[k] = vsm.AddedDoc{Pos: j, Terms: anns[j].Terms(), ID: newIDs[j]}
 	}
-	index, err := prev.index.Rebuild(diffs.Kept, added)
+	index, err := prev.index.RebuildRetriever(diffs.Kept, added)
 	indexSpan.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("core: incremental index rebuild: %w", err)

@@ -24,6 +24,11 @@ const minShare = time.Millisecond
 // call cleanly.
 func batchShare(remaining time.Duration, items, workers int) time.Duration {
 	if items <= 0 {
+		// still floor at minShare: an expired deadline makes remaining
+		// negative, and a negative timeout must never leak into WithTimeout
+		if remaining < minShare {
+			return minShare
+		}
 		return remaining
 	}
 	if workers <= 0 {

@@ -27,6 +27,13 @@ func TestBatchShare(t *testing.T) {
 		{0, 4, 2, minShare},
 		// no items: pass the budget through
 		{time.Second, 0, 8, time.Second},
+		// no items AND expired deadline: the passthrough branch must still
+		// floor at minShare — a negative duration handed to WithTimeout
+		// would be an already-expired child context created for no reason
+		{-time.Second, 0, 8, minShare},
+		{0, 0, 8, minShare},
+		{minShare - 1, 0, 8, minShare},
+		{-time.Second, -3, 8, minShare},
 	}
 	for _, tt := range tests {
 		if got := batchShare(tt.remaining, tt.items, tt.workers); got != tt.want {
@@ -57,6 +64,39 @@ func TestRemainingBudget(t *testing.T) {
 	got := remainingBudget(ctx, 3*time.Second)
 	if got <= 50*time.Second || got > time.Minute {
 		t.Errorf("deadline context: %v, want just under 1m", got)
+	}
+}
+
+// TestBudgetExpiredDeadlineFailsFast pins the end-to-end composition for a
+// request that arrives with its deadline already behind it: remainingBudget
+// goes negative, every share function floors at minShare, and the derived
+// child context fails immediately with DeadlineExceeded instead of hanging
+// or panicking on a negative timeout.
+func TestBudgetExpiredDeadlineFailsFast(t *testing.T) {
+	parent, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	remaining := remainingBudget(parent, 3*time.Second)
+	if remaining > 0 {
+		t.Fatalf("expired context reported %v remaining", remaining)
+	}
+	for _, share := range []time.Duration{
+		batchShare(remaining, 0, 8),
+		batchShare(remaining, 16, 4),
+		askShare(remaining),
+	} {
+		if share < minShare {
+			t.Fatalf("share %v below minShare for expired budget", share)
+		}
+		child, cancel2 := context.WithTimeout(parent, share)
+		start := time.Now()
+		<-child.Done()
+		if waited := time.Since(start); waited > 100*time.Millisecond {
+			t.Errorf("expired child took %v to report Done", waited)
+		}
+		if err := child.Err(); err != context.DeadlineExceeded {
+			t.Errorf("child.Err() = %v, want DeadlineExceeded", err)
+		}
+		cancel2()
 	}
 }
 

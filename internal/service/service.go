@@ -270,17 +270,47 @@ func (s *Service) CachedQuery(ctx context.Context, advisor, q string) (answers [
 // over the same postings). Unknown backends fail fast with
 // vsm.ErrUnknownBackend, before admission or annotation. Each backend keys
 // its own cache entries; the default spellings share one key space.
+//
+// Against a sharded advisor a partially degraded result (some shards failed
+// their fault draw) comes back as a success; callers that need the degraded
+// shard count use CachedQueryFull.
 func (s *Service) CachedQueryBackend(ctx context.Context, advisor, backend, q string) (answers []core.Answer, hit bool, err error) {
+	answers, hit, _, err = s.CachedQueryFull(ctx, advisor, backend, q)
+	return answers, hit, err
+}
+
+// partialAnswers carries a degraded sharded result out of the cache compute
+// func as an error: GetOrCompute never caches errors, so a partial result —
+// correct for the shards that ran, silently missing the rest — can never be
+// served from the cache as if it were complete. CachedQueryFull unwraps it
+// back into a success with a non-zero shard-failure count.
+type partialAnswers struct {
+	answers []core.Answer
+	failed  int
+	err     error // first shard failure
+}
+
+func (p *partialAnswers) Error() string {
+	return fmt.Sprintf("service: partial results, %d shards failed: %v", p.failed, p.err)
+}
+
+// CachedQueryFull is CachedQueryBackend plus the degraded-shard count: when
+// the advisor's index is sharded and some (but not all) shards failed their
+// fault-injection draw, the answers cover the surviving shards and
+// shardsFailed reports how many are missing. Such partial results are never
+// cached. All shards failing is a real error (and counts toward the
+// advisor's circuit breaker).
+func (s *Service) CachedQueryFull(ctx context.Context, advisor, backend, q string) (answers []core.Answer, hit bool, shardsFailed int, err error) {
 	// one span lookup covers the whole query path: with tracing off (or
 	// this request unsampled) parent is nil and every child span below is
 	// a no-op nil pointer — the hot path pays a single ctx.Value call
 	parent := obs.SpanFrom(ctx)
 	if !vsm.ValidBackend(backend) {
-		return nil, false, fmt.Errorf("%w: %q", vsm.ErrUnknownBackend, backend)
+		return nil, false, 0, fmt.Errorf("%w: %q", vsm.ErrUnknownBackend, backend)
 	}
 	adv, ok := s.reg.Get(advisor)
 	if !ok {
-		return nil, false, fmt.Errorf("%w: %q", ErrUnknownAdvisor, advisor)
+		return nil, false, 0, fmt.Errorf("%w: %q", ErrUnknownAdvisor, advisor)
 	}
 	// every outcome past this point feeds the advisor's circuit breaker:
 	// successes reset it, infrastructure failures (timeouts, injected
@@ -296,7 +326,7 @@ func (s *Service) CachedQueryBackend(ctx context.Context, advisor, backend, q st
 		}
 	}()
 	if ferr := s.flt.Err(fault.NLPAnnotate); ferr != nil {
-		return nil, false, ferr
+		return nil, false, 0, ferr
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
 	defer cancel()
@@ -304,7 +334,7 @@ func (s *Service) CachedQueryBackend(ctx context.Context, advisor, backend, q st
 	if err := s.admit.Acquire(ctx); err != nil {
 		admSpan.SetAttr("outcome", "rejected")
 		admSpan.Finish()
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	admSpan.Finish()
 	defer s.admit.Release()
@@ -344,6 +374,26 @@ func (s *Service) CachedQueryBackend(ctx context.Context, advisor, backend, q st
 			if serial {
 				bctx = vsm.WithSerialScoring(bctx)
 			}
+			if adv.ShardCount() > 1 {
+				// sharded retrieval: the vsm.score fault point is drawn once
+				// per shard inside the fan-out, so one failing shard degrades
+				// the query to partial results instead of failing it
+				sctx, outcome := vsm.WithShardOutcome(bctx)
+				sctx = vsm.WithShardFault(sctx, func() error { return s.flt.Err(fault.VSMScore) })
+				out, qerr := adv.QueryTermsBackendCtx(sctx, backend, terms)
+				if qerr != nil {
+					return nil, qerr
+				}
+				if failed := outcome.Failed(); failed > 0 {
+					if failed >= outcome.Total() {
+						return nil, fmt.Errorf("service: all %d index shards failed: %w", failed, outcome.Err())
+					}
+					scoreSpan.SetAttrInt("shards_failed", failed)
+					return nil, &partialAnswers{answers: out, failed: failed, err: outcome.Err()}
+				}
+				scoreSpan.SetAttrInt("answers", len(out))
+				return out, nil
+			}
 			// injected scoring faults surface here, inside the compute
 			// func: GetOrCompute never caches errors, so a fault storm
 			// cannot poison the cache with wrong answers
@@ -365,14 +415,20 @@ func (s *Service) CachedQueryBackend(ctx context.Context, advisor, backend, q st
 			cacheSpan.SetAttr("hit", strconv.FormatBool(res.hit))
 			cacheSpan.Finish()
 		}
-		return res.answers, res.hit, res.err
+		// a partial sharded result rides out of the compute func as an
+		// error (so it is never cached); deliver it as a degraded success
+		var partial *partialAnswers
+		if errors.As(res.err, &partial) {
+			return partial.answers, false, partial.failed, nil
+		}
+		return res.answers, res.hit, 0, res.err
 	case <-ctx.Done():
 		s.stats.timeouts.Add(1)
 		if cacheSpan != nil {
 			cacheSpan.SetAttr("outcome", "timeout")
 			cacheSpan.Finish()
 		}
-		return nil, false, ctx.Err()
+		return nil, false, 0, ctx.Err()
 	}
 }
 
@@ -437,7 +493,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// byte-identical to a backend-unaware build (Backend marshals omitempty)
 	backend := strings.TrimSpace(r.URL.Query().Get("backend"))
 	start := time.Now()
-	answers, hit, err := s.CachedQueryBackend(r.Context(), name, backend, q)
+	answers, hit, shardsFailed, err := s.CachedQueryFull(r.Context(), name, backend, q)
 	s.stats.recordQuery(time.Since(start))
 	if err != nil {
 		writeQueryError(w, err)
@@ -449,12 +505,13 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "miss")
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
-		Advisor: name,
-		Query:   q,
-		Backend: backend,
-		Count:   len(answers),
-		Answers: toAnswers(answers),
-		TraceID: obs.TraceID(r.Context()),
+		Advisor:      name,
+		Query:        q,
+		Backend:      backend,
+		Count:        len(answers),
+		Answers:      toAnswers(answers),
+		ShardsFailed: shardsFailed,
+		TraceID:      obs.TraceID(r.Context()),
 	})
 }
 

@@ -26,8 +26,12 @@ func TestLatencyRingPercentiles(t *testing.T) {
 		want time.Duration // nearest-rank: value at rank ceil(p*n) of 1..n
 	}{
 		{"empty", 0, 0.50, 0},
+		{"empty p0", 0, 0, 0},
+		{"empty p100", 0, 1, 0},
+		{"single p0", 1, 0, 1},
 		{"single p50", 1, 0.50, 1},
 		{"single p99", 1, 0.99, 1},
+		{"single p100", 1, 1, 1},
 		{"p0 clamps to min", 10, 0, 1},
 		{"p100 is max", 10, 1, 10},
 		{"p50 of 10", 10, 0.50, 5},  // ceil(5.0) = rank 5
@@ -55,6 +59,15 @@ func TestLatencyRingPercentiles(t *testing.T) {
 			}
 		})
 	}
+
+	t.Run("empty ring multi-quantile all zero", func(t *testing.T) {
+		r := &latencyRing{}
+		for i, d := range r.percentiles(0, 0.5, 0.99, 1) {
+			if d != 0 {
+				t.Errorf("quantile %d of empty ring = %d, want 0", i, d)
+			}
+		}
+	})
 
 	t.Run("multiple quantiles in one call", func(t *testing.T) {
 		r := fill(100)

@@ -64,6 +64,12 @@ func (ix *Index) Scorer(backend string) (Scorer, error) {
 	case BackendBM25:
 		return ix.BM25(), nil
 	}
+	return unknownBackend(backend)
+}
+
+// unknownBackend builds the ErrUnknownBackend failure shared by every
+// Retriever's Scorer method.
+func unknownBackend(backend string) (Scorer, error) {
 	return nil, fmt.Errorf("%w: %q (have %s)", ErrUnknownBackend, backend, strings.Join(Backends(), ", "))
 }
 

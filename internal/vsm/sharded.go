@@ -1,0 +1,634 @@
+// Sharded retrieval: a ShardedIndex partitions the sentence set across N
+// per-shard Index values by stable sentence identity while sharing one
+// global vocabulary and one global IDF table, so every per-shard weight is
+// Float64bits-identical to the monolithic index over the same corpus
+// (DESIGN.md §13). Queries fan out across shards in a bounded worker pool
+// and merge deterministically; a shard that fails a fault-injection draw
+// degrades to partial results (its documents score zero) instead of
+// failing the query.
+package vsm
+
+import (
+	"context"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/doc"
+	"repro/internal/obs"
+	"repro/internal/textproc"
+)
+
+// Sharded-retrieval observability, alongside the vsm_* Stage-II metrics.
+var (
+	shardedQueries  = obs.Default().Counter("vsm_sharded_queries_total")
+	shardScores     = obs.Default().Counter("vsm_shard_scores_total")
+	shardFailures   = obs.Default().Counter("vsm_shard_failures_total")
+	shardFanoutHist = obs.Default().Histogram("vsm_shard_fanout_micros")
+)
+
+// ShardedIndex is a TF-IDF vector space partitioned across shards.
+//
+// Layout: documents are assigned to shards by hashing their stable
+// doc.SentenceID (falling back to the document ordinal when no identity is
+// available), so an incremental Rebuild keeps every surviving sentence in
+// its original shard. Global statistics — vocabulary, document frequencies,
+// IDF — are computed over the whole corpus once and injected into each
+// shard's build, which is what makes per-shard TF-IDF and BM25 weights
+// bit-identical to the monolithic Index (each document's weights are a
+// function of the global statistics and the document alone, and both
+// layouts accumulate them in the same ascending term-id order).
+//
+// Like Index, a ShardedIndex is immutable after build and safe for
+// concurrent queries.
+type ShardedIndex struct {
+	vocab   map[string]int
+	idf     []float64
+	shards  []*Index
+	docs    [][]int32        // per shard: local position -> global ordinal, ascending
+	ids     []doc.SentenceID // global ordinal -> identity (shard assignment key)
+	counted []*termCounts    // global order, reused by Rebuild
+	n       int
+
+	bm25Once sync.Once
+	bm25     *ShardedBM25
+}
+
+// BuildShardedFromTerms constructs a sharded index over pre-normalized term
+// lists partitioned across nShards by the aligned sentence identities. A nil
+// or misaligned ids slice falls back to ordinal-based assignment (round
+// robin), which still balances shards but is not stable across edits;
+// nShards < 1 builds a single shard.
+func BuildShardedFromTerms(termLists [][]string, ids []doc.SentenceID, nShards int) *ShardedIndex {
+	counted := make([]*termCounts, len(termLists))
+	for i, terms := range termLists {
+		counted[i] = countTerms(terms)
+	}
+	if len(ids) != len(termLists) {
+		ids = make([]doc.SentenceID, len(termLists))
+	}
+	return buildSharded(counted, ids, nShards)
+}
+
+// shardOf maps a sentence to its shard: FNV-1a over the stable identity, or
+// round robin on the ordinal when the sentence has none.
+func shardOf(id doc.SentenceID, ordinal, nShards int) int {
+	if nShards <= 1 {
+		return 0
+	}
+	if id == "" {
+		return ordinal % nShards
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(nShards))
+}
+
+// buildSharded assembles the sharded layout: global statistics first, then
+// one buildWithStats per partition — the same per-document math as the
+// monolithic buildFromCounted, under the same statistics.
+func buildSharded(counted []*termCounts, ids []doc.SentenceID, nShards int) *ShardedIndex {
+	if nShards < 1 {
+		nShards = 1
+	}
+	vocab, idf := globalStats(counted, len(counted))
+	s := &ShardedIndex{
+		vocab:   vocab,
+		idf:     idf,
+		counted: counted,
+		ids:     ids,
+		n:       len(counted),
+	}
+	part := make([][]*termCounts, nShards)
+	s.docs = make([][]int32, nShards)
+	for i, tc := range counted {
+		sh := shardOf(ids[i], i, nShards)
+		part[sh] = append(part[sh], tc)
+		s.docs[sh] = append(s.docs[sh], int32(i))
+	}
+	s.shards = make([]*Index, nShards)
+	for sh := range part {
+		s.shards[sh] = buildWithStats(part[sh], vocab, idf)
+	}
+	return s
+}
+
+// Len returns the number of sentences across all shards.
+func (s *ShardedIndex) Len() int { return s.n }
+
+// ShardCount returns the number of partitions.
+func (s *ShardedIndex) ShardCount() int { return len(s.shards) }
+
+// ShardSizes returns the per-shard document counts (diagnostics and tests).
+func (s *ShardedIndex) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sizes[i] = sh.n
+	}
+	return sizes
+}
+
+// VocabSize returns the number of distinct terms in the global vocabulary.
+func (s *ShardedIndex) VocabSize() int { return len(s.vocab) }
+
+// IDF returns the global inverse document frequency of a term (0 if unknown).
+func (s *ShardedIndex) IDF(term string) float64 {
+	if id, ok := s.vocab[term]; ok {
+		return s.idf[id]
+	}
+	return 0
+}
+
+// Rebuild constructs the successor sharded index after a document edit,
+// under the same tiling contract as Index.Rebuild. Kept sentences carry
+// their identity (and therefore their shard assignment) forward; the result
+// is bit-identical to a cold sharded build over the successor corpus because
+// it *is* one — only term counting is reused.
+func (s *ShardedIndex) Rebuild(kept []doc.Kept, added []AddedDoc) (*ShardedIndex, error) {
+	counted, ids, err := tileCounted(s.counted, s.ids, kept, added)
+	if err != nil {
+		return nil, err
+	}
+	return buildSharded(counted, ids, len(s.shards)), nil
+}
+
+// RebuildRetriever is Rebuild under the Retriever interface.
+func (s *ShardedIndex) RebuildRetriever(kept []doc.Kept, added []AddedDoc) (Retriever, error) {
+	return s.Rebuild(kept, added)
+}
+
+// shardFaultKey carries a per-shard fault draw; shardOutcomeKey carries the
+// fan-out outcome recorder.
+type (
+	shardFaultKey   struct{}
+	shardOutcomeKey struct{}
+)
+
+// WithShardFault arms a per-shard fault draw on the context: the fan-out
+// calls draw once per shard, and a non-nil error fails that shard — its
+// documents score zero (partial results) and the failure is recorded on the
+// context's ShardOutcome. The serving layer wires its fault injector's
+// vsm.score point through this so chaos tests exercise single-shard
+// degradation rather than whole-query failure.
+func WithShardFault(ctx context.Context, draw func() error) context.Context {
+	if draw == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, shardFaultKey{}, draw)
+}
+
+func shardFaultFrom(ctx context.Context) func() error {
+	draw, _ := ctx.Value(shardFaultKey{}).(func() error)
+	return draw
+}
+
+// ShardOutcome records how a sharded fan-out went: how many shards ran and
+// how many failed their fault draw. A nil outcome is inert, so callers that
+// do not care simply never attach one.
+type ShardOutcome struct {
+	mu     sync.Mutex
+	total  int
+	failed int
+	err    error
+}
+
+// WithShardOutcome attaches a fresh outcome recorder to the context and
+// returns it; every sharded fan-out under the returned context reports into
+// it.
+func WithShardOutcome(ctx context.Context) (context.Context, *ShardOutcome) {
+	o := &ShardOutcome{}
+	return context.WithValue(ctx, shardOutcomeKey{}, o), o
+}
+
+func shardOutcomeFrom(ctx context.Context) *ShardOutcome {
+	o, _ := ctx.Value(shardOutcomeKey{}).(*ShardOutcome)
+	return o
+}
+
+// Total returns the number of shards the last fan-out ran.
+func (o *ShardOutcome) Total() int {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.total
+}
+
+// Failed returns the number of shards that failed their fault draw.
+func (o *ShardOutcome) Failed() int {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.failed
+}
+
+// Err returns the first shard failure, nil if every shard succeeded.
+func (o *ShardOutcome) Err() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+func (o *ShardOutcome) setTotal(n int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.total = n
+	o.mu.Unlock()
+}
+
+func (o *ShardOutcome) recordFailure(err error) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.failed++
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+// fanOut runs fn once per shard in a bounded worker pool — at most
+// min(GOMAXPROCS, shards) goroutines, or strictly the calling goroutine
+// under WithSerialScoring. Each shard draws the context's fault point (if
+// armed) before running; a failing shard is skipped and recorded. fn must
+// write only shard-owned state (each shard's documents map to disjoint
+// global ordinals, so per-shard writes into a shared score slice are
+// race-free).
+func (s *ShardedIndex) fanOut(ctx context.Context, fn func(sh int)) {
+	start := time.Now()
+	defer func() { shardFanoutHist.ObserveDuration(time.Since(start)) }()
+	draw := shardFaultFrom(ctx)
+	outcome := shardOutcomeFrom(ctx)
+	outcome.setTotal(len(s.shards))
+	parent := obs.SpanFrom(ctx)
+	exec := func(sh int) {
+		span := parent.StartChild("vsm.shard")
+		span.SetAttrInt("shard", sh)
+		span.SetAttrInt("docs", s.shards[sh].n)
+		defer span.Finish()
+		if draw != nil {
+			if err := draw(); err != nil {
+				span.SetAttr("error", err.Error())
+				shardFailures.Inc()
+				outcome.recordFailure(err)
+				return
+			}
+		}
+		fn(sh)
+		shardScores.Inc()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if SerialScoring(ctx) {
+		workers = 1
+	}
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	if workers <= 1 {
+		for sh := range s.shards {
+			exec(sh)
+		}
+		return
+	}
+	var next int32 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sh := int(atomic.AddInt32(&next, 1))
+				if sh >= len(s.shards) {
+					return
+				}
+				exec(sh)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// QueryVector builds the normalized query vector under the global
+// vocabulary — vectorized once, shared by every shard.
+func (s *ShardedIndex) QueryVector(query string) []entry {
+	return vectorizeWith(s.vocab, s.idf, textproc.NormalizeTerms(query))
+}
+
+// scoreVec scatters per-shard dense dot products into one global score
+// slice. Each document's score is a single dot product — the same
+// accumulation as the monolithic dense scan — so the slice is bit-identical
+// to Index.QueryAll over the same corpus, in any shard count.
+func (s *ShardedIndex) scoreVec(ctx context.Context, qv []entry) []float64 {
+	scores := make([]float64, s.n)
+	if len(qv) == 0 {
+		return scores
+	}
+	s.fanOut(ctx, func(sh int) {
+		docs := s.docs[sh]
+		for li, v := range s.shards[sh].vecs {
+			scores[docs[li]] = dot(v, qv)
+		}
+	})
+	return scores
+}
+
+// QueryAll computes the similarity of every sentence to the query across
+// all shards and returns the full global score slice.
+func (s *ShardedIndex) QueryAll(query string) []float64 {
+	return s.queryAllVec(context.Background(), s.QueryVector(query))
+}
+
+// QueryAllTerms is QueryAll over a pre-normalized query term list.
+func (s *ShardedIndex) QueryAllTerms(terms []string) []float64 {
+	return s.queryAllVec(context.Background(), s.vectorize(terms))
+}
+
+func (s *ShardedIndex) vectorize(terms []string) []entry {
+	return vectorizeWith(s.vocab, s.idf, terms)
+}
+
+func (s *ShardedIndex) queryAllVec(ctx context.Context, qv []entry) []float64 {
+	start := time.Now()
+	defer func() {
+		scoreHist.ObserveDuration(time.Since(start))
+		queriesScored.Inc()
+		shardedQueries.Inc()
+	}()
+	return s.scoreVec(ctx, qv)
+}
+
+// QueryAllTermsCtx is QueryAllTerms under a trace: the scoring pass is
+// recorded as a "vsm.score" span with a shard count attribute, and each
+// shard's pass nests under it as a "vsm.shard" child. WithSerialScoring
+// keeps the whole fan-out on the calling goroutine (scores are
+// bit-identical either way).
+func (s *ShardedIndex) QueryAllTermsCtx(ctx context.Context, terms []string) []float64 {
+	if parent := obs.SpanFrom(ctx); parent != nil {
+		span := parent.StartChild("vsm.score")
+		span.SetAttrInt("query_terms", len(terms))
+		span.SetAttrInt("docs", s.n)
+		span.SetAttrInt("shards", len(s.shards))
+		if SerialScoring(ctx) {
+			span.SetAttr("mode", "serial")
+		}
+		defer span.Finish()
+		ctx = obs.ContextWithSpan(ctx, span)
+	}
+	return s.queryAllVec(ctx, s.vectorize(terms))
+}
+
+// Backend implements Scorer: the ShardedIndex itself is the TF-IDF/cosine
+// backend, like the monolithic Index.
+func (s *ShardedIndex) Backend() string { return BackendVSM }
+
+// ScoreTermsCtx implements Scorer by delegating to QueryAllTermsCtx.
+func (s *ShardedIndex) ScoreTermsCtx(ctx context.Context, terms []string) []float64 {
+	return s.QueryAllTermsCtx(ctx, terms)
+}
+
+// Scorer returns the named scoring backend over the sharded layout.
+func (s *ShardedIndex) Scorer(backend string) (Scorer, error) {
+	switch backend {
+	case "", BackendVSM:
+		return s, nil
+	case BackendBM25:
+		return s.BM25(), nil
+	}
+	return unknownBackend(backend)
+}
+
+// Query returns every sentence at or above threshold across all shards,
+// merged into one globally sorted list — identical to Index.Query over the
+// same corpus (per-document scores are bit-identical, the threshold filter
+// is per-document, and the merge reproduces the same total order).
+func (s *ShardedIndex) Query(query string, threshold float64) []Match {
+	qv := s.QueryVector(query)
+	if len(qv) == 0 {
+		return nil
+	}
+	return mergeMatches(s.shardMatches(context.Background(), qv, threshold, 0), 0)
+}
+
+// TopK returns the k best matches at or above threshold. Each shard
+// early-exits at its own top k (a size-k bounded selection instead of a
+// full sort); the global top k is a subset of the union of per-shard top
+// ks, so the merged prefix equals the monolithic TopK exactly, including
+// tie order.
+func (s *ShardedIndex) TopK(query string, k int, threshold float64) []Match {
+	if k <= 0 {
+		return nil
+	}
+	qv := s.QueryVector(query)
+	if len(qv) == 0 {
+		return nil
+	}
+	return mergeMatches(s.shardMatches(context.Background(), qv, threshold, k), k)
+}
+
+// shardMatches collects each shard's sorted match list remapped to global
+// ordinals. k > 0 bounds each shard's list to its top k; k <= 0 keeps every
+// match. The remap preserves sort order: per-shard local ordinals are
+// ascending in global ordinal, so (score desc, local asc) maps to (score
+// desc, global asc).
+func (s *ShardedIndex) shardMatches(ctx context.Context, qv []entry, threshold float64, k int) [][]Match {
+	lists := make([][]Match, len(s.shards))
+	s.fanOut(ctx, func(sh int) {
+		var local []Match
+		if k > 0 {
+			local = s.shards[sh].topMatchesVec(qv, threshold, k)
+		} else {
+			local = s.shards[sh].matchesVec(qv, threshold)
+		}
+		docs := s.docs[sh]
+		for i := range local {
+			local[i].Index = int(docs[local[i].Index])
+		}
+		lists[sh] = local
+	})
+	return lists
+}
+
+// mergeMatches k-way merges sorted match lists under the global match order
+// (score desc, index asc) with a heap of list heads. k > 0 stops after k
+// results. Because the order is total (no two matches share score and
+// index), the merge is deterministic and reproduces exactly the list a
+// global sort would.
+func mergeMatches(lists [][]Match, k int) []Match {
+	type head struct{ list, pos int }
+	better := func(a, b Match) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Index < b.Index
+	}
+	heads := make([]head, 0, len(lists))
+	total := 0
+	for li, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			heads = append(heads, head{list: li, pos: 0})
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	at := func(h head) Match { return lists[h.list][h.pos] }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			best := i
+			if l < len(heads) && better(at(heads[l]), at(heads[best])) {
+				best = l
+			}
+			if r < len(heads) && better(at(heads[r]), at(heads[best])) {
+				best = r
+			}
+			if best == i {
+				return
+			}
+			heads[i], heads[best] = heads[best], heads[i]
+			i = best
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	want := total
+	if k > 0 && k < want {
+		want = k
+	}
+	out := make([]Match, 0, want)
+	for len(heads) > 0 && len(out) < want {
+		h := heads[0]
+		out = append(out, at(h))
+		if h.pos+1 < len(lists[h.list]) {
+			heads[0].pos++
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}
+
+// ShardedBM25 is the Okapi BM25 backend over a sharded layout. Its IDF
+// table derives from global document frequencies (the sum of per-shard
+// posting-list lengths — an exact integer, so equal to the monolithic df),
+// and its length norms from the global corpus average accumulated in global
+// document order; both therefore carry the exact bits of the monolithic
+// BM25 view, and per-document accumulation walks the same query terms in
+// the same ascending order — scores are Float64bits-identical.
+type ShardedBM25 struct {
+	s    *ShardedIndex
+	idf  []float64 // global BM25 IDF, per term id
+	norm []float64 // k1*(1 - b + b*len/avgLen), per global document
+}
+
+// BM25 returns the BM25 view over the sharded layout, built lazily on first
+// use and cached.
+func (s *ShardedIndex) BM25() *ShardedBM25 {
+	s.bm25Once.Do(func() {
+		b := &ShardedBM25{s: s, idf: make([]float64, len(s.idf)), norm: make([]float64, s.n)}
+		// accumulate total length in global document order — the same
+		// summation order as the monolithic BM25 build, so avg (and every
+		// norm derived from it) carries identical bits
+		var total float64
+		for _, tc := range s.counted {
+			total += float64(tc.total)
+		}
+		var avg float64
+		if s.n > 0 {
+			avg = total / float64(s.n)
+		}
+		n := float64(s.n)
+		for t := range b.idf {
+			gdf := 0
+			for _, sh := range s.shards {
+				gdf += len(sh.postings[t])
+			}
+			df := float64(gdf)
+			b.idf[t] = math.Log((n-df+0.5)/(df+0.5) + 1)
+		}
+		for d, tc := range s.counted {
+			if avg > 0 {
+				b.norm[d] = bm25K1 * (1 - bm25B + bm25B*float64(tc.total)/avg)
+			} else {
+				b.norm[d] = bm25K1
+			}
+		}
+		s.bm25 = b
+	})
+	return s.bm25
+}
+
+// Backend implements Scorer.
+func (b *ShardedBM25) Backend() string { return BackendBM25 }
+
+// ScoreTerms returns the BM25 score of every sentence across all shards for
+// a pre-normalized query term list.
+func (b *ShardedBM25) ScoreTerms(terms []string) []float64 {
+	return b.scoreTerms(context.Background(), terms)
+}
+
+// ScoreTermsCtx implements Scorer: the sharded fan-out under an optional
+// "bm25.score" trace span, honoring per-shard fault draws like the cosine
+// path.
+func (b *ShardedBM25) ScoreTermsCtx(ctx context.Context, terms []string) []float64 {
+	if parent := obs.SpanFrom(ctx); parent != nil {
+		span := parent.StartChild("bm25.score")
+		span.SetAttrInt("query_terms", len(terms))
+		span.SetAttrInt("docs", b.s.n)
+		span.SetAttrInt("shards", len(b.s.shards))
+		defer span.Finish()
+		ctx = obs.ContextWithSpan(ctx, span)
+	}
+	return b.scoreTerms(ctx, terms)
+}
+
+func (b *ShardedBM25) scoreTerms(ctx context.Context, terms []string) []float64 {
+	out := make([]float64, b.s.n)
+	seen := map[int]bool{}
+	ids := make([]int, 0, len(terms))
+	for _, t := range terms {
+		if id, ok := b.s.vocab[t]; ok && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return out
+	}
+	sort.Ints(ids)
+	b.s.fanOut(ctx, func(sh int) {
+		shard := b.s.shards[sh]
+		docs := b.s.docs[sh]
+		for _, t := range ids {
+			idf := b.idf[t]
+			for _, p := range shard.postings[t] {
+				g := docs[p.doc]
+				tf := float64(p.tf)
+				out[g] += idf * tf * (bm25K1 + 1) / (tf + b.norm[g])
+			}
+		}
+	})
+	return out
+}
+
+// Scores returns the BM25 score of every sentence for raw query text.
+func (b *ShardedBM25) Scores(query string) []float64 {
+	return b.ScoreTerms(textproc.NormalizeTerms(query))
+}

@@ -149,11 +149,16 @@ func countTerms(terms []string) *termCounts {
 // computed here (document frequencies, IDF, weights, postings); everything
 // per-document arrives precomputed in counted.
 func buildFromCounted(counted []*termCounts) *Index {
-	ix := &Index{
-		vocab:   make(map[string]int),
-		counted: counted,
-		n:       len(counted),
-	}
+	vocab, idf := globalStats(counted, len(counted))
+	return buildWithStats(counted, vocab, idf)
+}
+
+// globalStats computes the corpus-wide retrieval statistics for a document
+// set: term ids assigned in sorted term order and the IDF table
+// log(n/df). n is the logical corpus size — for a sharded layout it is the
+// global document count, not the size of any one partition, which is what
+// keeps per-shard weights bit-identical to the monolithic index.
+func globalStats(counted []*termCounts, n int) (map[string]int, []float64) {
 	// document frequencies: counted terms are unique per document already
 	dfByTerm := map[string]int{}
 	for _, tc := range counted {
@@ -161,15 +166,32 @@ func buildFromCounted(counted []*termCounts) *Index {
 			dfByTerm[t]++
 		}
 	}
-	vocab := make([]string, 0, len(dfByTerm))
+	terms := make([]string, 0, len(dfByTerm))
 	for t := range dfByTerm {
-		vocab = append(vocab, t)
+		terms = append(terms, t)
 	}
-	sort.Strings(vocab)
-	ix.idf = make([]float64, len(vocab))
-	for id, t := range vocab {
-		ix.vocab[t] = id
-		ix.idf[id] = math.Log(float64(ix.n) / float64(dfByTerm[t]))
+	sort.Strings(terms)
+	vocab := make(map[string]int, len(terms))
+	idf := make([]float64, len(terms))
+	for id, t := range terms {
+		vocab[t] = id
+		idf[id] = math.Log(float64(n) / float64(dfByTerm[t]))
+	}
+	return vocab, idf
+}
+
+// buildWithStats assembles an index over counted documents under an
+// externally supplied vocabulary and IDF table. buildFromCounted passes the
+// stats of the documents themselves (the monolithic layout); a ShardedIndex
+// passes the global stats of the whole corpus so each shard's weights come
+// out of the same floating-point operations in the same order as the
+// monolithic build.
+func buildWithStats(counted []*termCounts, vocab map[string]int, idf []float64) *Index {
+	ix := &Index{
+		vocab:   vocab,
+		idf:     idf,
+		counted: counted,
+		n:       len(counted),
 	}
 	ix.vecs = make([][]entry, ix.n)
 	ix.docLens = make([]int32, ix.n)
@@ -225,10 +247,13 @@ func (ix *Index) vectorizeCounted(tc *termCounts) []docEntry {
 }
 
 // AddedDoc is one new sentence handed to Rebuild: its position in the
-// successor document and its normalized term list.
+// successor document, its normalized term list, and (for sharded layouts)
+// its stable identity. The monolithic Index ignores ID; a ShardedIndex
+// hashes it to keep shard assignment stable across edits.
 type AddedDoc struct {
 	Pos   int
 	Terms []string
+	ID    doc.SentenceID
 }
 
 // Rebuild constructs the successor index after a document edit: kept pairs
@@ -246,8 +271,23 @@ type AddedDoc struct {
 // result is Float64bits-identical to a from-scratch BuildFromTerms over the
 // successor's full term lists (see TestRebuildBitIdentical).
 func (ix *Index) Rebuild(kept []doc.Kept, added []AddedDoc) (*Index, error) {
+	counted, _, err := tileCounted(ix.counted, nil, kept, added)
+	if err != nil {
+		return nil, err
+	}
+	return buildFromCounted(counted), nil
+}
+
+// tileCounted validates and materializes the successor document of an edit:
+// kept pairs reuse the previous counted statistics (and identity, when
+// prevIDs is non-nil), added positions are counted fresh. The pairs must
+// tile [0, kept+added) exactly — every position assigned once. Shared by
+// Index.Rebuild and ShardedIndex.Rebuild so both enforce the same tiling
+// contract with the same errors.
+func tileCounted(prevCounted []*termCounts, prevIDs []doc.SentenceID, kept []doc.Kept, added []AddedDoc) ([]*termCounts, []doc.SentenceID, error) {
 	n := len(kept) + len(added)
 	counted := make([]*termCounts, n)
+	ids := make([]doc.SentenceID, n)
 	place := func(pos int, tc *termCounts) error {
 		if pos < 0 || pos >= n {
 			return fmt.Errorf("vsm: rebuild position %d outside [0,%d)", pos, n)
@@ -259,19 +299,23 @@ func (ix *Index) Rebuild(kept []doc.Kept, added []AddedDoc) (*Index, error) {
 		return nil
 	}
 	for _, k := range kept {
-		if k.Old < 0 || k.Old >= len(ix.counted) {
-			return nil, fmt.Errorf("vsm: rebuild kept old position %d outside [0,%d)", k.Old, len(ix.counted))
+		if k.Old < 0 || k.Old >= len(prevCounted) {
+			return nil, nil, fmt.Errorf("vsm: rebuild kept old position %d outside [0,%d)", k.Old, len(prevCounted))
 		}
-		if err := place(k.New, ix.counted[k.Old]); err != nil {
-			return nil, err
+		if err := place(k.New, prevCounted[k.Old]); err != nil {
+			return nil, nil, err
+		}
+		if prevIDs != nil {
+			ids[k.New] = prevIDs[k.Old]
 		}
 	}
 	for _, a := range added {
 		if err := place(a.Pos, countTerms(a.Terms)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		ids[a.Pos] = a.ID
 	}
-	return buildFromCounted(counted), nil
+	return counted, ids, nil
 }
 
 // buildPostings derives the shared inverted index from the full document
@@ -303,15 +347,23 @@ func (ix *Index) buildPostings(docs [][]docEntry) {
 // vectorize converts a term list into a normalized sparse TF-IDF vector.
 // Terms outside the vocabulary are ignored.
 func (ix *Index) vectorize(terms []string) []entry {
+	return vectorizeWith(ix.vocab, ix.idf, terms)
+}
+
+// vectorizeWith is vectorize under explicit vocabulary and IDF tables — the
+// shared query-side vectorizer of the monolithic Index and the ShardedIndex
+// (which vectorizes once with the global tables and reuses the vector across
+// every shard).
+func vectorizeWith(vocab map[string]int, idf []float64, terms []string) []entry {
 	tf := map[int]float64{}
 	for _, t := range terms {
-		if id, ok := ix.vocab[t]; ok {
+		if id, ok := vocab[t]; ok {
 			tf[id]++
 		}
 	}
 	vec := make([]entry, 0, len(tf))
 	for id, f := range tf {
-		w := f * ix.idf[id]
+		w := f * idf[id]
 		if w == 0 {
 			continue
 		}
@@ -394,9 +446,32 @@ func (ix *Index) Query(query string, threshold float64) []Match {
 	if len(qv) == 0 {
 		return nil
 	}
+	return ix.matchesVec(qv, threshold)
+}
+
+// matchesVec is the vector-level core of Query: inverted walk for positive
+// thresholds, dense scan otherwise, sorted best-first. Shared with the
+// per-shard match path of ShardedIndex.
+func (ix *Index) matchesVec(qv []entry, threshold float64) []Match {
 	if threshold <= 0 {
 		return ix.denseScan(qv, threshold)
 	}
+	scores, touched := ix.accumulate(qv)
+	var out []Match
+	for _, d := range touched {
+		if s := scores[d]; s >= threshold {
+			out = append(out, Match{Index: int(d), Score: s})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// accumulate walks the inverted index for a query vector and returns the
+// per-document score accumulator plus the touched documents in first-touch
+// order. Scores are bit-identical to the dense scan: both sum the products
+// of shared terms in ascending term order.
+func (ix *Index) accumulate(qv []entry) ([]float64, []int32) {
 	scores := make([]float64, ix.n)
 	seen := make([]bool, ix.n)
 	touched := make([]int32, 0, 64)
@@ -409,14 +484,86 @@ func (ix *Index) Query(query string, threshold float64) []Match {
 			scores[p.doc] += q.weight * p.weight
 		}
 	}
-	var out []Match
-	for _, d := range touched {
-		if s := scores[d]; s >= threshold {
-			out = append(out, Match{Index: int(d), Score: s})
+	return scores, touched
+}
+
+// topMatchesVec is matchesVec with bounded selection: it keeps only the k
+// best matches (score desc, index asc) in a size-k heap instead of sorting
+// every match, so a shard's contribution to a TopK merge costs
+// O(matches·log k) rather than O(matches·log matches). The result is
+// exactly the first k entries matchesVec would produce — the ordering is a
+// total order, so bounded selection and sort-then-truncate agree.
+func (ix *Index) topMatchesVec(qv []entry, threshold float64, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	var scores []float64
+	var touched []int32
+	if threshold <= 0 {
+		// zero-score documents are admissible: every document is a candidate
+		scores = make([]float64, ix.n)
+		for i, v := range ix.vecs {
+			scores[i] = dot(v, qv)
+		}
+		touched = make([]int32, ix.n)
+		for i := range touched {
+			touched[i] = int32(i)
+		}
+	} else {
+		scores, touched = ix.accumulate(qv)
+	}
+	// min-heap keyed "worst first": the root is the weakest of the k kept
+	// matches and is evicted whenever a better candidate arrives
+	worse := func(a, b Match) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Index > b.Index
+	}
+	heap := make([]Match, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < len(heap) && worse(heap[l], heap[w]) {
+				w = l
+			}
+			if r < len(heap) && worse(heap[r], heap[w]) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			heap[i], heap[w] = heap[w], heap[i]
+			i = w
 		}
 	}
-	sortMatches(out)
-	return out
+	for _, d := range touched {
+		s := scores[d]
+		if s < threshold {
+			continue
+		}
+		m := Match{Index: int(d), Score: s}
+		if len(heap) < k {
+			heap = append(heap, m)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			continue
+		}
+		if worse(m, heap[0]) {
+			continue
+		}
+		heap[0] = m
+		siftDown(0)
+	}
+	sortMatches(heap)
+	return heap
 }
 
 // QueryDense is Query without the inverted-index fast path: it scores every
@@ -579,4 +726,34 @@ func sortMatches(m []Match) {
 // TF-IDF weights (utility for tests and diagnostics).
 func (ix *Index) Cosine(a, b string) float64 {
 	return dot(ix.vectorize(textproc.NormalizeTerms(a)), ix.vectorize(textproc.NormalizeTerms(b)))
+}
+
+// Retriever is the retrieval surface core.Advisor programs against: either a
+// monolithic Index (ShardCount 1) or a ShardedIndex. Both produce
+// Float64bits-identical scores for the same corpus — the sharded layout is a
+// performance topology, not a semantic one.
+type Retriever interface {
+	// Len returns the number of sentences indexed.
+	Len() int
+	// ShardCount reports the partition count (1 for a monolithic Index).
+	ShardCount() int
+	// QueryAll scores every sentence against raw query text.
+	QueryAll(query string) []float64
+	// QueryAllTermsCtx scores every sentence against pre-normalized terms,
+	// honoring tracing and serial-scoring hints on the context.
+	QueryAllTermsCtx(ctx context.Context, terms []string) []float64
+	// Scorer returns the named scoring backend over this retriever.
+	Scorer(backend string) (Scorer, error)
+	// RebuildRetriever builds the successor retriever after a document edit,
+	// preserving the layout (shard count, and for sharded layouts each kept
+	// sentence's shard assignment via its stable identity).
+	RebuildRetriever(kept []doc.Kept, added []AddedDoc) (Retriever, error)
+}
+
+// ShardCount reports 1: a monolithic Index is a single partition.
+func (ix *Index) ShardCount() int { return 1 }
+
+// RebuildRetriever is Rebuild under the Retriever interface.
+func (ix *Index) RebuildRetriever(kept []doc.Kept, added []AddedDoc) (Retriever, error) {
+	return ix.Rebuild(kept, added)
 }

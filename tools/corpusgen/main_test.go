@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := generate("cuda", 200, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("cuda", 200, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sentences) != 200 || len(b.Sentences) != 200 {
+		t.Fatalf("sentence counts = %d, %d, want 200", len(a.Sentences), len(b.Sentences))
+	}
+	if a.RenderHTML() != b.RenderHTML() {
+		t.Fatal("same (register, size, frac, seed) produced different HTML")
+	}
+	c, err := generate("cuda", 200, 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RenderHTML() == c.RenderHTML() {
+		t.Fatal("different seeds produced identical HTML")
+	}
+}
+
+func TestGenerateFullSize(t *testing.T) {
+	g, err := generate("xeon", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sentences) == 0 {
+		t.Fatal("full-size guide has no sentences")
+	}
+	if !strings.Contains(g.RenderHTML(), "<html") {
+		t.Fatal("RenderHTML did not produce an HTML document")
+	}
+}
+
+func TestGenerateRejectsBadFlags(t *testing.T) {
+	if _, err := generate("vax", 0, 0, 1); err == nil {
+		t.Fatal("unknown register accepted")
+	}
+	if _, err := generate("cuda", -5, 0.2, 1); err == nil {
+		t.Fatal("negative sentence count accepted")
+	}
+	if _, err := generate("cuda", 100, 1.5, 1); err == nil {
+		t.Fatal("advising fraction > 1 accepted")
+	}
+}
