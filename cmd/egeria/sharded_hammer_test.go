@@ -52,6 +52,11 @@ func shardedSource(t testing.TB, name string, size int, seed int64, shards int) 
 //   - partial results are never cached: after faults stop, the same
 //     queries return complete, byte-identical answers;
 //   - all shards failing is a clean 5xx, not an empty 200.
+//
+// A third of the hammer requests carry ?prune=off, so pruned and
+// exhaustive per-shard selection race side by side under -race and under
+// shard faults; after recovery both spellings must be byte-identical to
+// the fault-free control.
 func TestServeShardedHammer(t *testing.T) {
 	const nShards = 4
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -153,7 +158,12 @@ func TestServeShardedHammer(t *testing.T) {
 				// unique q per request defeats the cache, forcing a fresh
 				// fan-out that draws the fault point
 				q := fmt.Sprintf("%s hammer-%d-%d", queries[i%len(queries)], g, i)
-				resp, err := http.Get(ts.URL + "/v1/cuda/query?q=" + url.QueryEscape(q))
+				u := ts.URL + "/v1/cuda/query?q=" + url.QueryEscape(q)
+				if i%3 == 2 {
+					// exhaustive scoring races the pruned default
+					u += "&prune=off"
+				}
+				resp, err := http.Get(u)
 				if err != nil {
 					anomaly("get: %v", err)
 					continue
@@ -228,6 +238,15 @@ func TestServeShardedHammer(t *testing.T) {
 		}
 		if got := scrubTrace(body); got != want[p] {
 			t.Errorf("post-storm %s diverged from fault-free control:\n got %s\nwant %s", p, got, want[p])
+		}
+		// the exhaustive spelling must produce the same bytes as the pruned
+		// default — the serving-layer face of the parity guarantee
+		code, body = httpGet(t, ts.URL+p+"&prune=off")
+		if code != 200 {
+			t.Fatalf("post-storm %s&prune=off: %d %s", p, code, body)
+		}
+		if got := scrubTrace(body); got != want[p] {
+			t.Errorf("post-storm %s&prune=off diverged from control:\n got %s\nwant %s", p, got, want[p])
 		}
 	}
 }

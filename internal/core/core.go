@@ -436,17 +436,32 @@ func (a *Advisor) QueryTermsCtx(ctx context.Context, terms []string) []Answer {
 
 // QueryTermsWithThresholdCtx is the context-carrying form of
 // QueryTermsWithThreshold, the path the serving layer uses so a sampled
-// request's trace shows where its scoring time went.
+// request's trace shows where its scoring time went. Retrieval goes through
+// vsm's match form (MatchesTermsCtx) rather than the full score slice, so a
+// context with pruning enabled — the default — lets the index skip
+// documents that provably cannot clear the threshold; answers are
+// Float64bits-identical either way.
 func (a *Advisor) QueryTermsWithThresholdCtx(ctx context.Context, terms []string, threshold float64) []Answer {
-	scores := a.index.QueryAllTermsCtx(ctx, terms)
+	matches := a.index.MatchesTermsCtx(ctx, terms, threshold)
 	var out []Answer
-	for _, adv := range a.advising {
-		if s := scores[adv.Index]; s >= threshold {
-			out = append(out, Answer{Sentence: adv, Score: s})
+	for _, m := range matches {
+		if adv, ok := a.advisingAt(m.Index); ok {
+			out = append(out, Answer{Sentence: adv, Score: m.Score})
 		}
 	}
 	sortAnswers(out)
 	return out
+}
+
+// advisingAt returns the advising sentence at a global sentence index, if
+// that sentence is advising. a.advising is sorted by ascending Index, so
+// the lookup is a binary search.
+func (a *Advisor) advisingAt(index int) (AdvisingSentence, bool) {
+	i := sort.Search(len(a.advising), func(i int) bool { return a.advising[i].Index >= index })
+	if i < len(a.advising) && a.advising[i].Index == index {
+		return a.advising[i], true
+	}
+	return AdvisingSentence{}, false
 }
 
 // Backends lists the retrieval backends the advisor can score with: the

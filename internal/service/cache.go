@@ -103,6 +103,21 @@ func QueryKeyBackend(advisor, backend string, terms []string) string {
 	return advisor + "\x00\x01" + backend + "\x00" + strings.Join(terms, " ")
 }
 
+// QueryKeyFull extends QueryKeyBackend with the pruning decision. Pruned
+// retrieval — the default — keys exactly like QueryKeyBackend, so default
+// traffic keeps its cache entries across the flag; exhaustive (?prune=off)
+// queries get a disjoint key space under the same advisor prefix ("\x00\x02"
+// after the advisor name, which no default or backend key can produce), so
+// an answer computed by one path is never served to a request that asked
+// for the other, and Invalidate still drops both in one pass.
+func QueryKeyFull(advisor, backend string, prune bool, terms []string) string {
+	key := QueryKeyBackend(advisor, backend, terms)
+	if prune {
+		return key
+	}
+	return advisor + "\x00\x02" + key[len(advisor)+1:]
+}
+
 func (c *Cache) shardFor(key string) *cacheShard {
 	h := fnv.New32a()
 	h.Write([]byte(key))

@@ -45,6 +45,12 @@ type Options struct {
 	// histograms live in, served on /metricz (default obs.Default()).
 	Metrics *obs.Registry
 
+	// NoPrune disables MaxScore pruning in Stage-II retrieval for every
+	// query that does not carry its own ?prune= override. Pruned and
+	// exhaustive retrieval return identical bytes (the parity suites prove
+	// it), so this is an operational escape hatch, not a semantic switch.
+	NoPrune bool
+
 	// Fault is the fault-injection layer (see internal/fault). nil — the
 	// production default — compiles every fault point to a single nil
 	// check, the same pattern as unsampled obs spans.
@@ -346,7 +352,15 @@ func (s *Service) CachedQueryFull(ctx context.Context, advisor, backend, q strin
 	terms := nlp.QueryTerms(q)
 	annSpan.SetAttrInt("terms", len(terms))
 	annSpan.Finish()
-	key := QueryKeyBackend(advisor, backend, terms)
+	// the pruning decision: the request's explicit ?prune= override wins,
+	// otherwise the server-wide default. It joins the cache key — pruned and
+	// exhaustive answers are bit-identical, but an operator comparing the two
+	// paths must never be handed a cached answer computed by the other one.
+	prune := !s.opts.NoPrune
+	if on, set := vsm.Pruning(ctx); set {
+		prune = on
+	}
+	key := QueryKeyFull(advisor, backend, prune, terms)
 	// run the lookup in a goroutine so an expired deadline returns promptly;
 	// the computation itself finishes and still populates the cache
 	type result struct {
@@ -373,6 +387,10 @@ func (s *Service) CachedQueryFull(ctx context.Context, advisor, backend, q strin
 			bctx := obs.ContextWithSpan(context.Background(), scoreSpan)
 			if serial {
 				bctx = vsm.WithSerialScoring(bctx)
+			}
+			// pruning defaults on, so only an exhaustive run marks the ctx
+			if !prune {
+				bctx = vsm.WithPruning(bctx, false)
 			}
 			if adv.ShardCount() > 1 {
 				// sharded retrieval: the vsm.score fault point is drawn once
@@ -492,8 +510,22 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// absent/empty backend takes the default path and leaves the response
 	// byte-identical to a backend-unaware build (Backend marshals omitempty)
 	backend := strings.TrimSpace(r.URL.Query().Get("backend"))
+	ctx := r.Context()
+	// ?prune= is the per-request escape hatch around the server's pruning
+	// default; absent means "use the default", and the answers are identical
+	// bytes either way (only latency and vsm_prune_* metrics differ)
+	switch strings.ToLower(strings.TrimSpace(r.URL.Query().Get("prune"))) {
+	case "":
+	case "on", "true", "1":
+		ctx = vsm.WithPruning(ctx, true)
+	case "off", "false", "0":
+		ctx = vsm.WithPruning(ctx, false)
+	default:
+		writeError(w, http.StatusBadRequest, "invalid prune parameter %q (want on or off)", r.URL.Query().Get("prune"))
+		return
+	}
 	start := time.Now()
-	answers, hit, shardsFailed, err := s.CachedQueryFull(r.Context(), name, backend, q)
+	answers, hit, shardsFailed, err := s.CachedQueryFull(ctx, name, backend, q)
 	s.stats.recordQuery(time.Since(start))
 	if err != nil {
 		writeQueryError(w, err)

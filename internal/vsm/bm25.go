@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/textproc"
@@ -31,6 +32,9 @@ type BM25 struct {
 	ix   *Index
 	idf  []float64 // log((N - df + .5)/(df + .5) + 1), per term id
 	norm []float64 // k1*(1 - b + b*len/avgLen), per document
+
+	pruneOnce sync.Once // lazily-built impact-ordered pruning view
+	prune     *pruneState
 }
 
 // BM25 returns the BM25 scoring view over this index's postings, built
@@ -78,16 +82,7 @@ func (b *BM25) Backend() string { return BackendBM25 }
 // so identical queries produce bit-identical scores.
 func (b *BM25) ScoreTerms(terms []string) []float64 {
 	out := make([]float64, b.ix.n)
-	seen := map[int]bool{}
-	ids := make([]int, 0, len(terms))
-	for _, t := range terms {
-		if id, ok := b.ix.vocab[t]; ok && !seen[id] {
-			seen[id] = true
-			ids = append(ids, id)
-		}
-	}
-	sort.Ints(ids)
-	for _, t := range ids {
+	for _, t := range queryIDs(b.ix.vocab, terms) {
 		idf := b.idf[t]
 		for _, p := range b.ix.postings[t] {
 			tf := float64(p.tf)
@@ -116,17 +111,105 @@ func (b *BM25) Scores(query string) []float64 {
 // TopK returns the k best-scoring sentences with positive score, best first
 // (ties by ascending index); k <= 0 returns nothing.
 func (b *BM25) TopK(query string, k int) []Match {
+	return b.TopKCtx(context.Background(), query, k)
+}
+
+// TopKCtx is TopK honoring the pruning decision on ctx (default on). The
+// pruned path runs MaxScore elimination over per-term contribution lists in
+// descending contribution order; results are Float64bits-identical to
+// exhaustive scoring (see TestPruneDifferential).
+func (b *BM25) TopKCtx(ctx context.Context, query string, k int) []Match {
 	if k <= 0 {
 		return nil
 	}
+	return b.topMatches(PruningOn(ctx), queryIDs(b.ix.vocab, textproc.NormalizeTerms(query)), k)
+}
+
+// queryIDs resolves query terms to their sorted unique vocabulary ids —
+// BM25's binary query model (duplicate terms count once).
+func queryIDs(vocab map[string]int, terms []string) []int {
+	seen := map[int]bool{}
+	ids := make([]int, 0, len(terms))
+	for _, t := range terms {
+		if id, ok := vocab[t]; ok && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// bm25Prune returns the BM25 pruning state: per-term posting contributions
+// c = idf·tf·(k1+1)/(tf+norm) precomputed with the exact float expression
+// ScoreTerms accumulates, stored in both document and descending-impact
+// order. Built lazily on first use; safe to share (BM25 is immutable).
+func (b *BM25) bm25Prune() *pruneState {
+	b.pruneOnce.Do(func() {
+		b.prune = buildBM25Prune(b.ix.postings, b.idf, b.norm, func(d int32) int32 { return d })
+	})
+	return b.prune
+}
+
+// buildBM25Prune assembles a BM25 pruning state over one partition's
+// postings. normDoc maps a partition-local document to its ordinal in the
+// norm table — the identity for a monolithic index, the local-to-global
+// remap for a shard (shards score with GLOBAL idf and norms so their
+// contributions are bit-identical to the monolithic accumulation).
+func buildBM25Prune(postings [][]posting, idf, norm []float64, normDoc func(int32) int32) *pruneState {
+	st := &pruneState{terms: make([]pruneList, len(postings))}
+	for t, posts := range postings {
+		tidf := idf[t]
+		pl := &st.terms[t]
+		pl.docs = make([]int32, len(posts))
+		pl.w = make([]float64, len(posts))
+		for i, p := range posts {
+			tf := float64(p.tf)
+			pl.docs[i] = p.doc
+			pl.w[i] = tidf * tf * (bm25K1 + 1) / (tf + norm[normDoc(p.doc)])
+		}
+		pl.buildImpactOrder()
+	}
+	return st
+}
+
+// topMatches is BM25's selection core: MaxScore over contribution-ordered
+// postings when pruning is on and the corpus is big enough, the exhaustive
+// score-filter-sort-truncate otherwise. The admission rule is strictly
+// positive score (threshold 0, strict), so every admissible document
+// appears in some query term's postings — contributions are positive.
+func (b *BM25) topMatches(prune bool, ids []int, k int) []Match {
+	if prune {
+		if b.ix.n >= minPruneDocs {
+			st := b.bm25Prune()
+			refs := make([]termRef, len(ids))
+			for i, t := range ids {
+				refs[i] = termRef{id: t, mult: 1, list: &st.terms[t]}
+			}
+			if out, skipped, ok := pruneSelect(refs, 0, true, k, b.ix.n); ok {
+				pruneQueries.Inc()
+				pruneSkipped.Add(skipped)
+				return out
+			}
+		}
+		pruneFallbacks.Inc()
+	}
+	out := make([]float64, b.ix.n)
+	for _, t := range ids {
+		idf := b.idf[t]
+		for _, p := range b.ix.postings[t] {
+			tf := float64(p.tf)
+			out[p.doc] += idf * tf * (bm25K1 + 1) / (tf + b.norm[p.doc])
+		}
+	}
 	var matches []Match
-	for i, s := range b.Scores(query) {
+	for i, s := range out {
 		if s > 0 {
 			matches = append(matches, Match{Index: i, Score: s})
 		}
 	}
 	sortMatches(matches)
-	if len(matches) > k {
+	if k > 0 && len(matches) > k {
 		matches = matches[:k]
 	}
 	return matches

@@ -1,0 +1,434 @@
+// Dynamic pruning for Stage-II top-k retrieval: MaxScore-style candidate
+// elimination over impact-ordered postings (DESIGN.md §14).
+//
+// Every term's posting list is stored twice — the existing ascending
+// document order (exact rescoring) and descending contribution order (the
+// pruned walk). Per-term upper bounds let the walk skip postings that
+// provably cannot lift a document past the current k-th score or the
+// recommendation threshold. The pruned path is a *candidate generator*:
+// any document it emits is rescored by the exact exhaustive accumulation
+// (ascending term-id order, the same float operations in the same order),
+// so pruning decides only WHICH documents get scored, never what score
+// they get — results are Float64bits-identical to exhaustive scoring, for
+// both the TF-IDF/cosine and BM25 backends, monolithic or sharded.
+//
+// The exactness argument rests on one float lemma: for non-negative
+// values summed sequentially in a fixed order, replacing each addend by a
+// per-slot upper bound (and absent addends by their exact zero) never
+// decreases any rounded partial sum, because IEEE rounding is monotone.
+// Bounds are therefore accumulated in ascending term-id order — the same
+// order exhaustive scoring uses — which makes bound >= true score hold
+// exactly in floating point, with no epsilon slack. Whenever the bound
+// math cannot guarantee exactness or cannot win (thresholds that admit
+// zero-score documents, tiny corpora, non-finite bounds), the query falls
+// back to the exhaustive path and the fallback is counted.
+package vsm
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pruning observability (surfaced on /metricz as vsm_prune_*):
+// queries that took the pruned path, postings the walk never touched, and
+// prune-eligible queries that fell back to exhaustive scoring.
+var (
+	pruneQueries   = obs.Default().Counter("vsm_prune_queries_total")
+	pruneSkipped   = obs.Default().Counter("vsm_prune_postings_skipped_total")
+	pruneFallbacks = obs.Default().Counter("vsm_prune_fallbacks_total")
+)
+
+// minPruneDocs is the corpus size below which pruning is not attempted:
+// the bound bookkeeping costs more than exhaustively scoring a handful of
+// documents, so tiny corpora (and tiny shards) take the exhaustive path.
+const minPruneDocs = 32
+
+// seenPool recycles the per-query visited-document bitmaps so the pruned
+// path does not churn an O(n) allocation per query. Buffers come back
+// cleared (the put side zeroes only the prefix it used).
+var seenPool = sync.Pool{New: func() any { return new([]bool) }}
+
+// getSeen returns a cleared []bool of length n from the pool.
+func getSeen(n int) *[]bool {
+	p := seenPool.Get().(*[]bool)
+	if cap(*p) < n {
+		*p = make([]bool, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putSeen clears and recycles a bitmap obtained from getSeen.
+func putSeen(p *[]bool) {
+	clear(*p)
+	seenPool.Put(p)
+}
+
+// pruningKey marks a context with an explicit pruning decision.
+type pruningKey struct{}
+
+// WithPruning marks ctx with an explicit pruning decision for Stage-II
+// retrieval. Pruned and exhaustive scoring produce Float64bits-identical
+// results — the toggle exists as an operational escape hatch and as the
+// differential-testing lever, not as a semantic choice.
+func WithPruning(ctx context.Context, on bool) context.Context {
+	return context.WithValue(ctx, pruningKey{}, on)
+}
+
+// Pruning reports the pruning decision carried by ctx and whether one was
+// explicitly set (on defaults to true when unset).
+func Pruning(ctx context.Context) (on, set bool) {
+	v, ok := ctx.Value(pruningKey{}).(bool)
+	if !ok {
+		return true, false
+	}
+	return v, true
+}
+
+// PruningOn reports whether pruning is enabled on ctx (default true).
+func PruningOn(ctx context.Context) bool {
+	on, _ := Pruning(ctx)
+	return on
+}
+
+// pruneList is one term's postings under one scoring backend, in the two
+// orders pruning needs: ascending document order (docs/w — binary-searched
+// during exact rescoring) and descending contribution order (impDocs/impW,
+// ties by ascending document — the impact-ordered walk). w holds the
+// per-posting score contribution before the query-side multiplier: the
+// normalized TF-IDF weight for the cosine backend, the full precomputed
+// BM25 contribution for BM25. maxW is w's maximum (0 for an empty list).
+type pruneList struct {
+	docs    []int32
+	w       []float64
+	impDocs []int32
+	impW    []float64
+	maxW    float64
+}
+
+// pruneState is the per-backend pruning view over one index partition.
+type pruneState struct {
+	terms []pruneList // indexed by term id
+}
+
+// buildImpactOrder fills a pruneList's impact-ordered arrays (and maxW)
+// from its document-ordered ones.
+func (pl *pruneList) buildImpactOrder() {
+	n := len(pl.docs)
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if pl.w[ord[a]] != pl.w[ord[b]] {
+			return pl.w[ord[a]] > pl.w[ord[b]]
+		}
+		return pl.docs[ord[a]] < pl.docs[ord[b]]
+	})
+	pl.impDocs = make([]int32, n)
+	pl.impW = make([]float64, n)
+	for i, j := range ord {
+		pl.impDocs[i] = pl.docs[j]
+		pl.impW[i] = pl.w[j]
+	}
+	if n > 0 {
+		pl.maxW = pl.impW[0]
+	}
+}
+
+// vsmPrune returns the cosine-backend pruning state, built lazily on first
+// use (an Index is immutable after Build, so the state is safe to share).
+func (ix *Index) vsmPrune() *pruneState {
+	ix.pruneOnce.Do(func() {
+		st := &pruneState{terms: make([]pruneList, len(ix.postings))}
+		for t, posts := range ix.postings {
+			pl := &st.terms[t]
+			pl.docs = make([]int32, len(posts))
+			pl.w = make([]float64, len(posts))
+			for i, p := range posts {
+				pl.docs[i] = p.doc
+				pl.w[i] = p.weight
+			}
+			pl.buildImpactOrder()
+		}
+		ix.prune = st
+	})
+	return ix.prune
+}
+
+// termRef is one query term handed to the selection engine: its vocab id
+// (the engine requires callers to pass terms in ascending id order — the
+// exhaustive accumulation order), the query-side multiplier (contribution
+// of a posting with stored weight w is mult*w), and the term's postings.
+type termRef struct {
+	id   int
+	mult float64
+	list *pruneList
+}
+
+// pruneSelect is the MaxScore selection engine shared by both backends and
+// both layouts. It returns the matches exhaustive scoring would produce —
+// every document scoring past threshold (score >= threshold, or strictly
+// greater under strict), best first, truncated to k when k > 0 — plus the
+// number of postings the walk skipped. ok=false means the bound math was
+// unusable (non-finite or negative bounds) and the caller must fall back.
+//
+// terms must be sorted by ascending id; n is the partition's document
+// count. Under strict=false the caller must guarantee threshold > 0, so
+// every admissible document appears in some query term's postings; under
+// strict=true (BM25's score-over-zero filter) the same holds because every
+// posting's contribution is positive.
+func pruneSelect(terms []termRef, threshold float64, strict bool, k, n int) (out []Match, skipped int64, ok bool) {
+	m := len(terms)
+	if m == 0 {
+		return nil, 0, true
+	}
+	// per-term query upper bounds: ub[i] = fl(mult*maxW) dominates every
+	// contribution fl(mult*w) of term i (float multiply is monotone for
+	// non-negative operands)
+	ub := make([]float64, m)
+	for i, t := range terms {
+		ub[i] = t.mult * t.list.maxW
+		if math.IsNaN(ub[i]) || math.IsInf(ub[i], 0) || ub[i] < 0 || t.mult < 0 {
+			return nil, 0, false
+		}
+	}
+	if math.IsNaN(threshold) {
+		return nil, 0, false
+	}
+	// pi: term positions in descending-ub order (ties by ascending id) —
+	// the processing order; high-impact terms first fill the heap fast
+	pi := make([]int, m)
+	for i := range pi {
+		pi[i] = i
+	}
+	sort.Slice(pi, func(a, b int) bool {
+		if ub[pi[a]] != ub[pi[b]] {
+			return ub[pi[a]] > ub[pi[b]]
+		}
+		return terms[pi[a]].id < terms[pi[b]].id
+	})
+	// inSuffix[i] tracks whether term i (by position in terms) is in the
+	// not-yet-processed suffix pi[s:]; bound sums iterate terms in index
+	// order, which IS ascending id order — the exhaustive accumulation
+	// order the float monotonicity lemma requires.
+	inSuffix := make([]bool, m)
+	for i := range inSuffix {
+		inSuffix[i] = true
+	}
+	// suffixBound(s, sub, c): the ascending-id-order float sum of ub over
+	// the suffix pi[s:], with position sub's slot replaced by c. A document
+	// whose matched terms all lie in the suffix, with contribution exactly
+	// c at slot sub, scores at most this bound — exactly, in floats.
+	suffixBound := func(sub int, c float64) float64 {
+		var sum float64
+		for i := 0; i < m; i++ {
+			if !inSuffix[i] {
+				continue
+			}
+			if i == sub {
+				sum += c
+			} else {
+				sum += ub[i]
+			}
+		}
+		return sum
+	}
+
+	// bounded min-heap keyed worst-first under the total match order
+	// (score desc, index asc) — the same semantics as topMatchesVec, so
+	// bounded selection equals sort-then-truncate
+	worse := func(a, b Match) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Index > b.Index
+	}
+	var heap []Match
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < len(heap) && worse(heap[l], heap[w]) {
+				w = l
+			}
+			if r < len(heap) && worse(heap[r], heap[w]) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			heap[i], heap[w] = heap[w], heap[i]
+			i = w
+		}
+	}
+	// canSkip reports whether a document bounded by b can be eliminated
+	// without scoring it: strictly below the admission threshold, or — once
+	// the heap is full — strictly below the k-th score. Strict-< handles
+	// k-th-score ties exactly: a document whose bound EQUALS the root score
+	// could still win on the index tiebreak, so it is always scored. The
+	// heap root only rises, so a skip decided now stays valid later.
+	canSkip := func(b float64) bool {
+		if strict {
+			if b <= threshold {
+				return true
+			}
+		} else if b < threshold {
+			return true
+		}
+		return k > 0 && len(heap) == k && b < heap[0].Score
+	}
+	admit := func(s float64) bool {
+		if strict {
+			return s > threshold
+		}
+		return s >= threshold
+	}
+	// exact rescore: the same per-term contributions summed in the same
+	// ascending term-id order as the exhaustive pass (for the cosine
+	// backend mult*w == weight*mult bit-wise by commutativity of float
+	// multiplication; for BM25 mult is 1 and 1*c == c exactly). The walk
+	// already knows the contribution of the term it is walking (own, at
+	// term position pos — the identical mult*w product), so that slot
+	// skips the posting-list search.
+	rescore := func(d int32, pos int, own float64) float64 {
+		var s float64
+		for i := range terms {
+			if i == pos {
+				s += own
+				continue
+			}
+			lst := terms[i].list
+			lo, hi := 0, len(lst.docs)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if lst.docs[mid] < d {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(lst.docs) && lst.docs[lo] == d {
+				s += terms[i].mult * lst.w[lo]
+			}
+		}
+		return s
+	}
+	offer := func(mt Match) {
+		if k <= 0 {
+			out = append(out, mt)
+			return
+		}
+		if len(heap) < k {
+			heap = append(heap, mt)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			return
+		}
+		if worse(mt, heap[0]) {
+			return
+		}
+		heap[0] = mt
+		siftDown(0)
+	}
+
+	seenp := getSeen(n)
+	defer putSeen(seenp)
+	seen := *seenp
+	for s := 0; s < m; s++ {
+		pos := pi[s]
+		// whole-suffix elimination: every document not yet seen whose
+		// matched terms all lie in pi[s:] scores at most the suffix bound;
+		// documents already emitted are rescored exactly regardless
+		if canSkip(suffixBound(-1, 0)) {
+			for r := s; r < m; r++ {
+				skipped += int64(len(terms[pi[r]].list.impW))
+			}
+			break
+		}
+		lst := terms[pos].list
+		mult := terms[pos].mult
+		// impact cutoff: the walkable prefix of this term's impact-ordered
+		// list is exactly the postings whose substituted suffix bound is
+		// not skippable — the bound is monotone in w and the list is sorted
+		// by descending w, so the prefix is contiguous and binary-searchable.
+		// The cutoff re-tightens periodically as the heap root rises.
+		j, cut := 0, len(lst.impW)
+		recalc := func() {
+			cut = j + sort.Search(cut-j, func(x int) bool {
+				return canSkip(suffixBound(pos, mult*lst.impW[j+x]))
+			})
+		}
+		recalc()
+		for j < cut {
+			d := lst.impDocs[j]
+			own := mult * lst.impW[j]
+			j++
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			if mt := (Match{Index: int(d), Score: rescore(d, pos, own)}); admit(mt.Score) {
+				was := len(heap)
+				offer(mt)
+				if k > 0 && was < k && len(heap) == k {
+					// the heap just filled: the skip bar jumps from the
+					// admission threshold to the k-th score, so re-tighten
+					// immediately instead of waiting out the stride
+					recalc()
+					continue
+				}
+			}
+			if j&7 == 0 {
+				recalc()
+			}
+		}
+		skipped += int64(len(lst.impW) - j)
+		inSuffix[pos] = false
+	}
+	if k > 0 {
+		out = heap
+	}
+	sortMatches(out)
+	return out, skipped, true
+}
+
+// selectMatches is the selection core shared by the monolithic entry
+// points and each shard of a sharded fan-out: the pruned engine when
+// pruning is requested and the gate allows, the exhaustive path otherwise.
+// k > 0 bounds the result to the k best; k <= 0 keeps every match at or
+// above threshold. Results are Float64bits-identical either way.
+func (ix *Index) selectMatches(prune bool, qv []entry, threshold float64, k int) []Match {
+	if prune {
+		// thresholds at or below zero admit zero-score documents, which
+		// appear in no query term's postings — candidate generation cannot
+		// see them, so those queries are exhaustive by construction
+		if threshold > 0 && ix.n >= minPruneDocs {
+			terms := make([]termRef, len(qv))
+			st := ix.vsmPrune()
+			for i, q := range qv {
+				terms[i] = termRef{id: q.term, mult: q.weight, list: &st.terms[q.term]}
+			}
+			if out, skipped, ok := pruneSelect(terms, threshold, false, k, ix.n); ok {
+				pruneQueries.Inc()
+				pruneSkipped.Add(skipped)
+				return out
+			}
+		}
+		pruneFallbacks.Inc()
+	}
+	if k > 0 {
+		return ix.topMatchesVec(qv, threshold, k)
+	}
+	return ix.matchesVec(qv, threshold)
+}

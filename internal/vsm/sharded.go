@@ -13,7 +13,6 @@ import (
 	"hash/fnv"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -415,11 +414,21 @@ func (s *ShardedIndex) Scorer(backend string) (Scorer, error) {
 // same corpus (per-document scores are bit-identical, the threshold filter
 // is per-document, and the merge reproduces the same total order).
 func (s *ShardedIndex) Query(query string, threshold float64) []Match {
+	return s.QueryCtx(context.Background(), query, threshold)
+}
+
+// QueryCtx is Query honoring the pruning decision on ctx (default on):
+// each shard runs MaxScore candidate elimination against its own postings
+// before the merge. Per-shard pruning is exact per shard (same bound math
+// as the monolithic path, over shard-local lists built from global
+// statistics), so the merged result is Float64bits-identical to exhaustive
+// scoring at any shard count.
+func (s *ShardedIndex) QueryCtx(ctx context.Context, query string, threshold float64) []Match {
 	qv := s.QueryVector(query)
 	if len(qv) == 0 {
 		return nil
 	}
-	return mergeMatches(s.shardMatches(context.Background(), qv, threshold, 0), 0)
+	return mergeMatches(s.shardMatches(ctx, qv, threshold, 0), 0)
 }
 
 // TopK returns the k best matches at or above threshold. Each shard
@@ -428,6 +437,12 @@ func (s *ShardedIndex) Query(query string, threshold float64) []Match {
 // ks, so the merged prefix equals the monolithic TopK exactly, including
 // tie order.
 func (s *ShardedIndex) TopK(query string, k int, threshold float64) []Match {
+	return s.TopKCtx(context.Background(), query, k, threshold)
+}
+
+// TopKCtx is TopK honoring the pruning decision on ctx (default on); see
+// QueryCtx for the per-shard pruning exactness argument.
+func (s *ShardedIndex) TopKCtx(ctx context.Context, query string, k int, threshold float64) []Match {
 	if k <= 0 {
 		return nil
 	}
@@ -435,23 +450,45 @@ func (s *ShardedIndex) TopK(query string, k int, threshold float64) []Match {
 	if len(qv) == 0 {
 		return nil
 	}
-	return mergeMatches(s.shardMatches(context.Background(), qv, threshold, k), k)
+	return mergeMatches(s.shardMatches(ctx, qv, threshold, k), k)
+}
+
+// MatchesTermsCtx returns every sentence at or above threshold across all
+// shards, best first — the serving-path form of Query, honoring tracing,
+// pruning, per-shard fault draws (a failed shard contributes no matches —
+// the same partial-result degradation as the score-slice path), and the
+// scoring metrics.
+func (s *ShardedIndex) MatchesTermsCtx(ctx context.Context, terms []string, threshold float64) []Match {
+	prune := PruningOn(ctx)
+	if parent := obs.SpanFrom(ctx); parent != nil {
+		span := parent.StartChild("vsm.score")
+		span.SetAttrInt("query_terms", len(terms))
+		span.SetAttrInt("docs", s.n)
+		span.SetAttrInt("shards", len(s.shards))
+		span.SetAttr("vsm.prune", pruneAttrVal(prune))
+		defer span.Finish()
+		ctx = obs.ContextWithSpan(ctx, span)
+	}
+	start := time.Now()
+	defer func() {
+		scoreHist.ObserveDuration(time.Since(start))
+		queriesScored.Inc()
+		shardedQueries.Inc()
+	}()
+	return mergeMatches(s.shardMatches(ctx, s.vectorize(terms), threshold, 0), 0)
 }
 
 // shardMatches collects each shard's sorted match list remapped to global
 // ordinals. k > 0 bounds each shard's list to its top k; k <= 0 keeps every
-// match. The remap preserves sort order: per-shard local ordinals are
-// ascending in global ordinal, so (score desc, local asc) maps to (score
-// desc, global asc).
+// match. Each shard selects through its own pruning gate (per-shard bounds,
+// per-shard fallback) when the context asks for pruning. The remap
+// preserves sort order: per-shard local ordinals are ascending in global
+// ordinal, so (score desc, local asc) maps to (score desc, global asc).
 func (s *ShardedIndex) shardMatches(ctx context.Context, qv []entry, threshold float64, k int) [][]Match {
+	prune := PruningOn(ctx)
 	lists := make([][]Match, len(s.shards))
 	s.fanOut(ctx, func(sh int) {
-		var local []Match
-		if k > 0 {
-			local = s.shards[sh].topMatchesVec(qv, threshold, k)
-		} else {
-			local = s.shards[sh].matchesVec(qv, threshold)
-		}
+		local := s.shards[sh].selectMatches(prune, qv, threshold, k)
 		docs := s.docs[sh]
 		for i := range local {
 			local[i].Index = int(docs[local[i].Index])
@@ -536,6 +573,9 @@ type ShardedBM25 struct {
 	s    *ShardedIndex
 	idf  []float64 // global BM25 IDF, per term id
 	norm []float64 // k1*(1 - b + b*len/avgLen), per global document
+
+	pruneOnce sync.Once // lazily-built per-shard impact-ordered pruning views
+	prune     []*pruneState
 }
 
 // BM25 returns the BM25 view over the sharded layout, built lazily on first
@@ -601,18 +641,10 @@ func (b *ShardedBM25) ScoreTermsCtx(ctx context.Context, terms []string) []float
 
 func (b *ShardedBM25) scoreTerms(ctx context.Context, terms []string) []float64 {
 	out := make([]float64, b.s.n)
-	seen := map[int]bool{}
-	ids := make([]int, 0, len(terms))
-	for _, t := range terms {
-		if id, ok := b.s.vocab[t]; ok && !seen[id] {
-			seen[id] = true
-			ids = append(ids, id)
-		}
-	}
+	ids := queryIDs(b.s.vocab, terms)
 	if len(ids) == 0 {
 		return out
 	}
-	sort.Ints(ids)
 	b.s.fanOut(ctx, func(sh int) {
 		shard := b.s.shards[sh]
 		docs := b.s.docs[sh]
@@ -631,4 +663,96 @@ func (b *ShardedBM25) scoreTerms(ctx context.Context, terms []string) []float64 
 // Scores returns the BM25 score of every sentence for raw query text.
 func (b *ShardedBM25) Scores(query string) []float64 {
 	return b.ScoreTerms(textproc.NormalizeTerms(query))
+}
+
+// shardPrune returns the per-shard BM25 pruning states: shard-local posting
+// lists with contributions precomputed from the GLOBAL IDF table and GLOBAL
+// length norms (a shard's own BM25 view would carry shard-local statistics
+// and the wrong bits). Built lazily on first use and cached.
+func (b *ShardedBM25) shardPrune() []*pruneState {
+	b.pruneOnce.Do(func() {
+		states := make([]*pruneState, len(b.s.shards))
+		for sh, shard := range b.s.shards {
+			docs := b.s.docs[sh]
+			states[sh] = buildBM25Prune(shard.postings, b.idf, b.norm, func(d int32) int32 { return docs[d] })
+		}
+		b.prune = states
+	})
+	return b.prune
+}
+
+// TopK returns the k best-scoring sentences with positive score across all
+// shards, best first (ties by ascending index); k <= 0 returns nothing.
+// Identical to the monolithic BM25.TopK over the same corpus.
+func (b *ShardedBM25) TopK(query string, k int) []Match {
+	return b.TopKCtx(context.Background(), query, k)
+}
+
+// TopKCtx is TopK honoring the pruning decision on ctx (default on): each
+// shard selects its own top k — pruned through its contribution-ordered
+// lists or exhaustively on fallback — and the k-way merge keeps the global
+// best. Results are Float64bits-identical either way.
+func (b *ShardedBM25) TopKCtx(ctx context.Context, query string, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	ids := queryIDs(b.s.vocab, textproc.NormalizeTerms(query))
+	if len(ids) == 0 {
+		return nil
+	}
+	prune := PruningOn(ctx)
+	lists := make([][]Match, len(b.s.shards))
+	b.s.fanOut(ctx, func(sh int) {
+		local := b.topShard(sh, prune, ids, k)
+		docs := b.s.docs[sh]
+		for i := range local {
+			local[i].Index = int(docs[local[i].Index])
+		}
+		lists[sh] = local
+	})
+	return mergeMatches(lists, k)
+}
+
+// topShard computes one shard's top-k BM25 matches in local ordinals:
+// MaxScore elimination when pruning is on and the shard is big enough, the
+// exhaustive shard scan otherwise. Both accumulate each document's
+// contributions in ascending term-id order against global statistics, so
+// the two paths (and any shard count) agree bit-for-bit.
+func (b *ShardedBM25) topShard(sh int, prune bool, ids []int, k int) []Match {
+	shard := b.s.shards[sh]
+	docs := b.s.docs[sh]
+	if prune {
+		if shard.n >= minPruneDocs {
+			st := b.shardPrune()[sh]
+			refs := make([]termRef, len(ids))
+			for i, t := range ids {
+				refs[i] = termRef{id: t, mult: 1, list: &st.terms[t]}
+			}
+			if out, skipped, ok := pruneSelect(refs, 0, true, k, shard.n); ok {
+				pruneQueries.Inc()
+				pruneSkipped.Add(skipped)
+				return out
+			}
+		}
+		pruneFallbacks.Inc()
+	}
+	out := make([]float64, shard.n)
+	for _, t := range ids {
+		idf := b.idf[t]
+		for _, p := range shard.postings[t] {
+			tf := float64(p.tf)
+			out[p.doc] += idf * tf * (bm25K1 + 1) / (tf + b.norm[docs[p.doc]])
+		}
+	}
+	var matches []Match
+	for i, s := range out {
+		if s > 0 {
+			matches = append(matches, Match{Index: i, Score: s})
+		}
+	}
+	sortMatches(matches)
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
 }

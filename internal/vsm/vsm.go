@@ -60,6 +60,9 @@ type Index struct {
 
 	bm25Once sync.Once // lazily-built BM25 view over the same postings
 	bm25     *BM25
+
+	pruneOnce sync.Once // lazily-built impact-ordered pruning view (cosine)
+	prune     *pruneState
 }
 
 // Match is one retrieval result.
@@ -442,11 +445,20 @@ func (ix *Index) Similarity(i int, query string) float64 {
 // terms in ascending term order. A threshold <= 0 admits zero-score
 // documents, so that case falls back to the dense scan.
 func (ix *Index) Query(query string, threshold float64) []Match {
+	return ix.QueryCtx(context.Background(), query, threshold)
+}
+
+// QueryCtx is Query honoring the pruning decision on ctx (default on):
+// positive thresholds take the MaxScore candidate-elimination path over the
+// impact-ordered postings, falling back to the exhaustive walk whenever the
+// bound math cannot guarantee exactness. Pruned and exhaustive results are
+// Float64bits-identical (see TestPruneDifferential).
+func (ix *Index) QueryCtx(ctx context.Context, query string, threshold float64) []Match {
 	qv := ix.QueryVector(query)
 	if len(qv) == 0 {
 		return nil
 	}
-	return ix.matchesVec(qv, threshold)
+	return ix.selectMatches(PruningOn(ctx), qv, threshold, 0)
 }
 
 // matchesVec is the vector-level core of Query: inverted walk for positive
@@ -703,14 +715,53 @@ func (ix *Index) QuerySerial(query string) []float64 {
 // count, not on score — and ties within the list resolve by ascending
 // sentence index, so the kept prefix is deterministic.
 func (ix *Index) TopK(query string, k int, threshold float64) []Match {
+	return ix.TopKCtx(context.Background(), query, k, threshold)
+}
+
+// TopKCtx is TopK honoring the pruning decision on ctx (default on). The
+// pruned path bounds selection to a size-k heap fed by MaxScore candidate
+// elimination; the result is exactly Query truncated to k — the match
+// ordering is a total order, so bounded selection and sort-then-truncate
+// agree, and pruning is Float64bits-identical to exhaustive scoring.
+func (ix *Index) TopKCtx(ctx context.Context, query string, k int, threshold float64) []Match {
 	if k <= 0 {
 		return nil
 	}
-	m := ix.Query(query, threshold)
-	if len(m) > k {
-		m = m[:k]
+	qv := ix.QueryVector(query)
+	if len(qv) == 0 {
+		return nil
 	}
-	return m
+	return ix.selectMatches(PruningOn(ctx), qv, threshold, k)
+}
+
+// MatchesTermsCtx returns every sentence scoring at or above threshold
+// against pre-normalized query terms, best first — the serving-path form of
+// Query. It honors tracing, pruning, and (via the exhaustive fallback's
+// scan) the same score semantics as filtering QueryAllTerms: a threshold at
+// or below zero admits zero-score sentences, so every sentence is returned.
+func (ix *Index) MatchesTermsCtx(ctx context.Context, terms []string, threshold float64) []Match {
+	prune := PruningOn(ctx)
+	if parent := obs.SpanFrom(ctx); parent != nil {
+		span := parent.StartChild("vsm.score")
+		span.SetAttrInt("query_terms", len(terms))
+		span.SetAttrInt("docs", ix.n)
+		span.SetAttr("vsm.prune", pruneAttrVal(prune))
+		defer span.Finish()
+	}
+	start := time.Now()
+	defer func() {
+		scoreHist.ObserveDuration(time.Since(start))
+		queriesScored.Inc()
+	}()
+	return ix.selectMatches(prune, ix.vectorize(terms), threshold, 0)
+}
+
+// pruneAttrVal renders a pruning decision as the vsm.prune span attribute.
+func pruneAttrVal(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
 }
 
 func sortMatches(m []Match) {
@@ -742,6 +793,11 @@ type Retriever interface {
 	// QueryAllTermsCtx scores every sentence against pre-normalized terms,
 	// honoring tracing and serial-scoring hints on the context.
 	QueryAllTermsCtx(ctx context.Context, terms []string) []float64
+	// MatchesTermsCtx returns every sentence scoring at or above threshold
+	// against pre-normalized terms, best first (score desc, index asc),
+	// honoring tracing and the pruning decision on the context. Results are
+	// Float64bits-identical to filtering QueryAllTermsCtx's scores.
+	MatchesTermsCtx(ctx context.Context, terms []string, threshold float64) []Match
 	// Scorer returns the named scoring backend over this retriever.
 	Scorer(backend string) (Scorer, error)
 	// RebuildRetriever builds the successor retriever after a document edit,

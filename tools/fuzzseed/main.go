@@ -55,6 +55,31 @@ func main() {
 	write("internal/depparse/testdata/fuzz/FuzzParse", sentences)
 	write("internal/service/testdata/fuzz/FuzzQuery", queries)
 
+	// top-k parity seeds: realistic guide corpora × guide queries, across
+	// the k / threshold / shard-count axes the pruning bound math cares
+	// about (tiny k, k past the corpus size, the paper's threshold, the
+	// exhaustive-fallback thresholds, monolithic and many-shard layouts)
+	var parity []topkSeed
+	for name, reg := range guides {
+		g := corpus.GenerateSized(reg, 60, 0.3, 11)
+		texts := g.Texts()
+		if len(texts) > 48 {
+			texts = texts[:48]
+		}
+		blob := joinLines(texts)
+		for i, q := range corpus.CUDAQueries() {
+			if i >= 4 {
+				break
+			}
+			parity = append(parity,
+				topkSeed{fmt.Sprintf("%s_q%02d_top10", name, i), blob, q.Text, 10, 0.15, 4},
+				topkSeed{fmt.Sprintf("%s_q%02d_top1", name, i), blob, q.Text, 1, 0.01, 1},
+				topkSeed{fmt.Sprintf("%s_q%02d_all", name, i), blob, q.Text, 2 * len(texts), 0, 8},
+			)
+		}
+	}
+	writeTopK("internal/vsm/testdata/fuzz/FuzzTopKParity", parity)
+
 	// snapshot-format seeds: a valid gob stream per guide plus the corrupt
 	// shapes a crash or disk fault could produce — truncation, bit rot, and
 	// a plausible-looking stream with a skewed leading version
@@ -143,6 +168,47 @@ func write(dir string, seeds []seed) {
 	}
 	for _, s := range seeds {
 		body := "go test fuzz v1\nstring(" + strconv.Quote(s.value) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("%s: %d seeds", dir, len(seeds))
+}
+
+// topkSeed is one FuzzTopKParity input: a newline-joined sentence corpus,
+// a query, and the k / threshold / shard-count axes.
+type topkSeed struct {
+	name, blob, query string
+	k                 int
+	threshold         float64
+	shards            int
+}
+
+// joinLines joins sentences into the newline-separated corpus blob the
+// parity fuzzer splits back apart.
+func joinLines(texts []string) string {
+	out := ""
+	for i, t := range texts {
+		if i > 0 {
+			out += "\n"
+		}
+		out += t
+	}
+	return out
+}
+
+// writeTopK emits FuzzTopKParity's five-argument corpus files.
+func writeTopK(dir string, seeds []topkSeed) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range seeds {
+		body := "go test fuzz v1\n" +
+			"string(" + strconv.Quote(s.blob) + ")\n" +
+			"string(" + strconv.Quote(s.query) + ")\n" +
+			"int(" + strconv.Itoa(s.k) + ")\n" +
+			"float64(" + strconv.FormatFloat(s.threshold, 'g', -1, 64) + ")\n" +
+			"int(" + strconv.Itoa(s.shards) + ")\n"
 		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
 			log.Fatal(err)
 		}
